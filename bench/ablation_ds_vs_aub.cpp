@@ -1,0 +1,124 @@
+// AUB vs Deferrable Server comparison (paper §2).
+//
+// "In our previous work, we implemented and evaluated an admission control
+// service for two suitable aperiodic scheduling techniques (aperiodic
+// utilization bound and deferrable server) on TAO.  Since aperiodic
+// utilization bound (AUB) has a comparable performance to deferrable
+// server, and requires less complex scheduling mechanisms in middleware, we
+// focus exclusively on the AUB scheduling technique in this paper."
+//
+// This bench reruns that comparison on this implementation: random §7.1
+// workloads under AUB analysis vs DS analysis (one server per processor),
+// reporting accepted utilization ratio and aperiodic response times for a
+// sweep of server sizes.
+//
+// Flags: --seeds=N --horizon_s=N
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/flags.h"
+
+using namespace rtcm;
+
+namespace {
+
+struct Outcome {
+  OnlineStats ratio;
+  OnlineStats aperiodic_response_ms;
+  OnlineStats misses;
+};
+
+Outcome run(core::AperiodicAnalysis analysis, Duration budget,
+            Duration period, int seeds, const bench::ExperimentParams& params) {
+  Outcome outcome;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed));
+    auto tasks =
+        workload::generate_workload(workload::random_workload_shape(), rng);
+    core::SystemConfig config;
+    config.strategies = core::StrategyCombination::parse("J_T_T").value();
+    config.comm_latency = params.comm_latency;
+    config.analysis = analysis;
+    config.ds_server.budget = budget;
+    config.ds_server.period = period;
+    core::SystemRuntime runtime(config, std::move(tasks));
+    if (Status s = runtime.assemble(); !s.is_ok()) {
+      std::fprintf(stderr, "assemble failed: %s\n", s.message().c_str());
+      continue;
+    }
+    Rng arrival_rng = rng.fork(1);
+    const Time horizon = Time::epoch() + params.horizon;
+    runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    runtime.run_until(horizon + params.drain);
+
+    outcome.ratio.add(runtime.metrics().accepted_utilization_ratio());
+    outcome.misses.add(
+        static_cast<double>(runtime.metrics().total().deadline_misses));
+    OnlineStats response;
+    for (const auto& [task, tm] : runtime.metrics().per_task()) {
+      if (runtime.tasks().find(task)->kind == sched::TaskKind::kAperiodic) {
+        response.merge(tm.response_ms);
+      }
+    }
+    if (response.count() > 0) {
+      outcome.aperiodic_response_ms.add(response.mean());
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  bench::ExperimentParams params;
+  const int seeds = static_cast<int>(flags.get_int("seeds", 8));
+  params.horizon = Duration::seconds(flags.get_int("horizon_s", 60));
+
+  std::printf(
+      "AUB vs Deferrable Server admission control (paper Sec 2)\n"
+      "random Sec-7.1 workloads, AC per job / IR per task / LB per task,\n"
+      "%d seeds per row\n\n",
+      seeds);
+  std::printf("%-26s %-10s %-22s %-8s\n", "analysis",
+              "accept", "aperiodic mean resp", "misses");
+
+  const auto aub = run(core::AperiodicAnalysis::kAub, Duration::zero(),
+                       Duration::zero(), seeds, params);
+  std::printf("%-26s %-10.4f %-19.1fms %-8.0f\n", "AUB (paper's choice)",
+              aub.ratio.mean(), aub.aperiodic_response_ms.mean(),
+              aub.misses.sum());
+
+  struct ServerSize {
+    const char* name;
+    Duration budget;
+    Duration period;
+  };
+  const ServerSize sizes[] = {
+      {"DS 10ms/100ms (2B/P=0.2)", Duration::milliseconds(10),
+       Duration::milliseconds(100)},
+      {"DS 20ms/100ms (2B/P=0.4)", Duration::milliseconds(20),
+       Duration::milliseconds(100)},
+      {"DS 30ms/100ms (2B/P=0.6)", Duration::milliseconds(30),
+       Duration::milliseconds(100)},
+  };
+  for (const ServerSize& size : sizes) {
+    const auto ds = run(core::AperiodicAnalysis::kDeferrableServer,
+                        size.budget, size.period, seeds, params);
+    std::printf("%-26s %-10.4f %-19.1fms %-8.0f\n", size.name,
+                ds.ratio.mean(), ds.aperiodic_response_ms.mean(),
+                ds.misses.sum());
+  }
+
+  std::printf(
+      "\nReading: the DS server trades periodic capacity (2B/P reserved\n"
+      "against the back-to-back effect) for budget-enforced aperiodic\n"
+      "service, and its per-hop startup gap plus rate-limited service make\n"
+      "its admission far more conservative on these heavy random workloads\n"
+      "than AUB's shared synthetic-utilization ledger.  AUB admitting at\n"
+      "least as much while needing no budget-enforcement mechanism in the\n"
+      "middleware is exactly the paper's stated reason for focusing on AUB\n"
+      "(Sec 2).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: how much does the AUB resetting rule (idle resetting) buy, as a
+// function of offered load?
+//
+// The paper motivates configurable IR by its overhead/pessimism trade-off
+// (§4.3).  This bench quantifies the benefit side: accepted utilization
+// ratio vs per-processor utilization target for IR = None / per Task /
+// per Job, with AC per job and LB off so the IR effect is isolated.
+//
+// Flags: --seeds=N --horizon_s=N
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/flags.h"
+
+using namespace rtcm;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  bench::ExperimentParams params;
+  params.seeds = static_cast<int>(flags.get_int("seeds", 8));
+  params.horizon = Duration::seconds(flags.get_int("horizon_s", 60));
+
+  std::printf(
+      "Ablation: resetting-rule benefit vs offered load (Sec 4.3)\n"
+      "AC per job, LB off; random workloads; %d seeds per cell\n\n",
+      params.seeds);
+  std::printf("%-8s %-10s %-10s %-10s %-12s\n", "util", "IR=None", "IR=Task",
+              "IR=Job", "Job-None");
+
+  const core::StrategyCombination ir_none =
+      core::StrategyCombination::parse("J_N_N").value();
+  const core::StrategyCombination ir_task =
+      core::StrategyCombination::parse("J_T_N").value();
+  const core::StrategyCombination ir_job =
+      core::StrategyCombination::parse("J_J_N").value();
+
+  for (double util = 0.3; util <= 0.91; util += 0.1) {
+    workload::WorkloadShape shape = workload::random_workload_shape();
+    shape.per_processor_utilization = util;
+
+    OnlineStats none;
+    OnlineStats task;
+    OnlineStats job;
+    for (int seed = 1; seed <= params.seeds; ++seed) {
+      none.add(bench::run_once(ir_none, shape,
+                               static_cast<std::uint64_t>(seed), params));
+      task.add(bench::run_once(ir_task, shape,
+                               static_cast<std::uint64_t>(seed), params));
+      job.add(bench::run_once(ir_job, shape,
+                              static_cast<std::uint64_t>(seed), params));
+    }
+    std::printf("%-8.2f %-10.4f %-10.4f %-10.4f %+-12.4f\n", util,
+                none.mean(), task.mean(), job.mean(),
+                job.mean() - none.mean());
+  }
+
+  std::printf(
+      "\nReading: the resetting rule's benefit grows with load until the\n"
+      "admission test saturates; IR per Job dominates because completed\n"
+      "periodic subjobs release the bulk of the reserved utilization.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Microbenchmarks for the centralized admission control path (§3).
+//
+// The paper argues a centralized AC/LB is viable because "the computation
+// time of the schedulability analysis is significantly lower than task
+// execution times in many distributed cyber-physical systems".  These
+// google-benchmark measurements quantify that claim for this
+// implementation: the AUB admission test scales with the number of current
+// tasks and chain length, and stays in the microsecond range far beyond the
+// paper's 9-task workloads.
+#include <benchmark/benchmark.h>
+
+#include "sched/aub.h"
+#include "sched/load_balancer.h"
+#include "sched/utilization_ledger.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rtcm;
+
+struct Scenario {
+  sched::UtilizationLedger ledger;
+  std::vector<sched::TaskFootprint> footprints;
+  std::vector<sched::CandidateStage> candidate;
+};
+
+Scenario make_scenario(std::int64_t current_tasks, std::int64_t stages,
+                       std::int64_t processors) {
+  Scenario s;
+  Rng rng(42);
+  for (std::int64_t i = 0; i < current_tasks; ++i) {
+    sched::TaskFootprint fp;
+    fp.task = TaskId(static_cast<std::int32_t>(i));
+    for (std::int64_t j = 0; j < stages; ++j) {
+      const ProcessorId proc(
+          static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(processors))));
+      fp.processors.push_back(proc);
+      // Keep the system lightly loaded so tests exercise the full path.
+      (void)s.ledger.add(proc, 0.3 / static_cast<double>(current_tasks));
+    }
+    s.footprints.push_back(std::move(fp));
+  }
+  for (std::int64_t j = 0; j < stages; ++j) {
+    s.candidate.push_back(
+        {ProcessorId(static_cast<std::int32_t>(
+             rng.index(static_cast<std::size_t>(processors)))),
+         0.01});
+  }
+  return s;
+}
+
+void BM_AdmissionTest_CurrentTasks(benchmark::State& state) {
+  const auto scenario = make_scenario(state.range(0), 3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::aub_admission_test(
+        scenario.ledger, TaskId(9999), scenario.candidate,
+        scenario.footprints));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AdmissionTest_CurrentTasks)->Range(8, 512)->Complexity();
+
+void BM_AdmissionTest_ChainLength(benchmark::State& state) {
+  const auto scenario = make_scenario(32, state.range(0), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::aub_admission_test(
+        scenario.ledger, TaskId(9999), scenario.candidate,
+        scenario.footprints));
+  }
+}
+BENCHMARK(BM_AdmissionTest_ChainLength)->DenseRange(1, 5);
+
+void BM_AdmissionTest_Processors(benchmark::State& state) {
+  const auto scenario = make_scenario(32, 3, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::aub_admission_test(
+        scenario.ledger, TaskId(9999), scenario.candidate,
+        scenario.footprints));
+  }
+}
+BENCHMARK(BM_AdmissionTest_Processors)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_LoadBalancerPlace(benchmark::State& state) {
+  sched::UtilizationLedger ledger;
+  Rng rng(7);
+  const auto replica_count = state.range(0);
+  for (int p = 0; p < 8; ++p) {
+    (void)ledger.add(ProcessorId(p), rng.uniform_real(0.0, 0.5));
+  }
+  sched::TaskSpec task;
+  task.id = TaskId(0);
+  task.kind = sched::TaskKind::kPeriodic;
+  task.deadline = Duration::milliseconds(500);
+  task.period = task.deadline;
+  for (int j = 0; j < 3; ++j) {
+    sched::SubtaskSpec st;
+    st.primary = ProcessorId(j);
+    st.execution = Duration::milliseconds(10);
+    for (std::int64_t r = 0; r < replica_count; ++r) {
+      st.replicas.push_back(ProcessorId(static_cast<std::int32_t>(3 + r)));
+    }
+    task.subtasks.push_back(st);
+  }
+  sched::LoadBalancer balancer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer.place(task, ledger));
+  }
+}
+BENCHMARK(BM_LoadBalancerPlace)->DenseRange(0, 5);
+
+void BM_LedgerAddRemove(benchmark::State& state) {
+  sched::UtilizationLedger ledger;
+  for (auto _ : state) {
+    const auto id = ledger.add(ProcessorId(0), 0.01);
+    benchmark::DoNotOptimize(ledger.remove(id));
+  }
+}
+BENCHMARK(BM_LedgerAddRemove);
+
+void BM_AubTerm(benchmark::State& state) {
+  double u = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::aub_term(u));
+    u = u < 0.9 ? u + 1e-6 : 0.1;
+  }
+}
+BENCHMARK(BM_AubTerm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Shared driver for the Figure 5 / Figure 6 style experiments.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "util/stats.h"
+#include "workload/arrival.h"
+#include "workload/generator.h"
+
+namespace rtcm::bench {
+
+struct ExperimentParams {
+  int seeds = 10;                       // task sets per combination (paper: 10)
+  Duration horizon = Duration::seconds(100);
+  Duration drain = Duration::seconds(15);
+  Duration comm_latency = sim::Network::kPaperOneWayDelay;
+  double aperiodic_interarrival_factor = 1.0;
+};
+
+struct ComboResult {
+  std::string label;
+  OnlineStats ratio;          // accepted utilization ratio across seeds
+  OnlineStats deadline_misses;
+};
+
+/// Run one (combination, seed) experiment and return the accepted
+/// utilization ratio.
+inline double run_once(const core::StrategyCombination& combo,
+                       const workload::WorkloadShape& shape,
+                       std::uint64_t seed, const ExperimentParams& params,
+                       std::uint64_t* misses = nullptr) {
+  Rng rng(seed);
+  workload::WorkloadShape seeded_shape = shape;
+  seeded_shape.aperiodic_interarrival_factor =
+      params.aperiodic_interarrival_factor;
+  auto tasks = workload::generate_workload(seeded_shape, rng);
+
+  core::SystemConfig config;
+  config.strategies = combo;
+  config.comm_latency = params.comm_latency;
+  core::SystemRuntime runtime(config, std::move(tasks));
+  const Status status = runtime.assemble();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "assemble failed: %s\n", status.message().c_str());
+    return 0.0;
+  }
+  Rng arrival_rng = rng.fork(1);
+  const Time horizon = Time::epoch() + params.horizon;
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  runtime.run_until(horizon + params.drain);
+  if (misses != nullptr) {
+    *misses = runtime.metrics().total().deadline_misses;
+  }
+  return runtime.metrics().accepted_utilization_ratio();
+}
+
+/// Run all requested combinations over `params.seeds` task sets.
+inline std::vector<ComboResult> run_matrix(
+    const std::vector<core::StrategyCombination>& combos,
+    const workload::WorkloadShape& shape, const ExperimentParams& params) {
+  std::vector<ComboResult> results;
+  for (const auto& combo : combos) {
+    ComboResult result;
+    result.label = combo.label();
+    for (int seed = 1; seed <= params.seeds; ++seed) {
+      std::uint64_t misses = 0;
+      result.ratio.add(run_once(combo, shape,
+                                static_cast<std::uint64_t>(seed), params,
+                                &misses));
+      result.deadline_misses.add(static_cast<double>(misses));
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+/// ASCII bar for a ratio in [0, 1].
+inline std::string bar(double ratio, int width = 40) {
+  const int filled = static_cast<int>(ratio * width + 0.5);
+  std::string out;
+  for (int i = 0; i < width; ++i) out += i < filled ? '#' : '.';
+  return out;
+}
+
+}  // namespace rtcm::bench

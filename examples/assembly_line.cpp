@@ -1,0 +1,127 @@
+// Computer-integrated manufacturing under overload (§1, §4).
+//
+// An assembly line with a vision quality-check pipeline that is
+// loss-tolerant (skipping a frame is fine — criterion C1 satisfied) and a
+// conveyor control task that is not.  A burst of aperiodic rework orders
+// overloads two stations; duplicates exist on a spare station (criterion
+// C3).  The example contrasts:
+//
+//   T_N_N  — everything per task, no resetting, no balancing: the rework
+//            burst is mostly rejected and tasks unlucky at first arrival
+//            never run;
+//   J_J_J  — per-job admission with idle resetting and balancing: frames
+//            are skipped under pressure but utilization flows to the spare
+//            station and far more work is accepted.
+#include <cstdio>
+
+#include <cstdlib>
+
+#include "core/runtime.h"
+#include "workload/arrival.h"
+
+using namespace rtcm;
+
+namespace {
+
+sched::TaskSet make_line() {
+  sched::TaskSet tasks;
+  auto add = [&tasks](sched::TaskSpec spec) {
+    const Status s = tasks.add(std::move(spec));
+    if (!s.is_ok()) {
+      std::fprintf(stderr, "bad task: %s\n", s.message().c_str());
+      std::abort();
+    }
+  };
+
+  // Vision quality check: camera (P0) -> classifier (P1); loss tolerant.
+  sched::TaskSpec vision;
+  vision.id = TaskId(0);
+  vision.name = "vision-qc";
+  vision.kind = sched::TaskKind::kPeriodic;
+  vision.deadline = Duration::milliseconds(300);
+  vision.period = Duration::milliseconds(300);
+  vision.subtasks = {
+      {Duration::milliseconds(45), ProcessorId(0), {ProcessorId(2)}},
+      {Duration::milliseconds(60), ProcessorId(1), {ProcessorId(2)}},
+  };
+  add(vision);
+
+  // Conveyor speed control; small and critical.
+  sched::TaskSpec conveyor;
+  conveyor.id = TaskId(1);
+  conveyor.name = "conveyor-control";
+  conveyor.kind = sched::TaskKind::kPeriodic;
+  conveyor.deadline = Duration::milliseconds(200);
+  conveyor.period = Duration::milliseconds(200);
+  conveyor.subtasks = {
+      {Duration::milliseconds(10), ProcessorId(1), {ProcessorId(0)}},
+  };
+  add(conveyor);
+
+  // Aperiodic rework orders: station P0 does the rework plan, P1 applies
+  // the fix; bursts arrive when a defect streak is detected.
+  sched::TaskSpec rework;
+  rework.id = TaskId(2);
+  rework.name = "rework-order";
+  rework.kind = sched::TaskKind::kAperiodic;
+  rework.deadline = Duration::milliseconds(600);
+  rework.mean_interarrival = Duration::milliseconds(450);
+  rework.subtasks = {
+      {Duration::milliseconds(50), ProcessorId(0), {ProcessorId(2)}},
+      {Duration::milliseconds(35), ProcessorId(1), {ProcessorId(2)}},
+  };
+  add(rework);
+
+  return tasks;
+}
+
+void run_combo(const char* label) {
+  core::SystemConfig config;
+  config.strategies = core::StrategyCombination::parse(label).value();
+  core::SystemRuntime runtime(config, make_line());
+  if (Status s = runtime.assemble(); !s.is_ok()) {
+    std::fprintf(stderr, "assemble failed: %s\n", s.message().c_str());
+    return;
+  }
+
+  Rng rng(99);
+  const Time horizon(Duration::seconds(60).usec());
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, rng));
+  runtime.run_until(horizon + Duration::seconds(10));
+
+  std::printf("--- %s ---\n", label);
+  const auto& metrics = runtime.metrics();
+  std::printf("accepted utilization ratio: %.3f\n",
+              metrics.accepted_utilization_ratio());
+  for (const auto& [task, tm] : metrics.per_task()) {
+    std::printf(
+        "  %-16s arrived %4llu  ran %4llu  skipped %4llu  misses %llu\n",
+        runtime.tasks().find(task)->name.c_str(),
+        static_cast<unsigned long long>(tm.arrivals),
+        static_cast<unsigned long long>(tm.completions),
+        static_cast<unsigned long long>(tm.rejections),
+        static_cast<unsigned long long>(tm.deadline_misses));
+  }
+  std::printf("  idle resets applied: %llu, spare-station utilization: %s\n\n",
+              static_cast<unsigned long long>(metrics.subjobs_reset()),
+              runtime.admission_control()
+                      ->state()
+                      .ledger()
+                      .total(ProcessorId(2)) > 0.0
+                  ? "used"
+                  : "unused");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Assembly line under rework bursts (Sections 1 and 4)\n\n");
+  run_combo("T_N_N");
+  run_combo("J_J_J");
+  std::printf(
+      "Reading: under T_N_N the configuration cannot exploit slack or the\n"
+      "spare station; under J_J_J skipped vision frames and idle resetting\n"
+      "free capacity that the rework burst can use.\n");
+  return 0;
+}

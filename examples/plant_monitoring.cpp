@@ -1,0 +1,123 @@
+// Industrial plant monitoring — the paper's motivating scenario (§1).
+//
+// "In an industrial plant monitoring system, an aperiodic alert may be
+// generated when a series of periodic sensor readings meets certain hazard
+// detection criteria.  This alert must be processed on multiple processors
+// within an end-to-end deadline, e.g., to put an industrial process into a
+// fail-safe mode."
+//
+// This example builds that system: periodic sensor-scan and control-loop
+// tasks plus an aperiodic hazard-alert chain (detect -> correlate ->
+// fail-safe actuate) across three processors, then runs it under two
+// configurations chosen through the §6 questionnaire:
+//
+//   critical-control profile — no job skipping (every admitted job must
+//       run), integral controllers (state persists -> LB per task),
+//       replicated components; per-task overhead budget   => T_T_T
+//   loss-tolerant profile    — job skipping allowed, stateless proportional
+//       controllers, per-job overhead budget               => J_J_J
+//
+// and reports alert response times and accepted utilization for both.
+#include <cstdio>
+
+#include "config/engine.h"
+#include "config/questionnaire.h"
+#include "workload/arrival.h"
+
+using namespace rtcm;
+
+namespace {
+
+constexpr const char* kPlantSpec = R"(# plant monitoring workload
+# periodic sensor scans feeding the hazard detector
+task sensor-scan periodic deadline=400ms period=400ms
+  subtask exec=90ms primary=P0 replicas=P2
+  subtask exec=55ms primary=P1
+# the control loop holding the plant at its setpoint
+task control-loop periodic deadline=250ms period=250ms
+  subtask exec=55ms primary=P1 replicas=P0
+# slow archival/telemetry chain
+task telemetry periodic deadline=4s period=4s
+  subtask exec=450ms primary=P2
+  subtask exec=300ms primary=P0
+# the aperiodic hazard alert: detect -> correlate -> fail-safe actuate
+task hazard-alert aperiodic deadline=900ms mean_interarrival=700ms
+  subtask exec=50ms primary=P0 replicas=P1
+  subtask exec=65ms primary=P1 replicas=P2
+  subtask exec=30ms primary=P2 replicas=P0
+)";
+
+void run_profile(const char* title, const config::Answers& answers) {
+  config::EngineInput input;
+  input.workload_spec = kPlantSpec;
+  input.answers = answers;
+  input.label = title;
+  const auto out = config::ConfigurationEngine().configure(input);
+  if (!out.is_ok()) {
+    std::fprintf(stderr, "configure failed: %s\n", out.message().c_str());
+    return;
+  }
+  std::printf("=== %s ===\n", title);
+  std::printf("selected strategies: %s\n",
+              out.value().selection.strategies.label().c_str());
+  for (const auto& note : out.value().selection.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+
+  core::SystemConfig base;  // paper-style 322us network
+  auto runtime = config::ConfigurationEngine::launch(out.value(), base);
+  if (!runtime.is_ok()) {
+    std::fprintf(stderr, "launch failed: %s\n", runtime.message().c_str());
+    return;
+  }
+  core::SystemRuntime& rt = *runtime.value();
+
+  Rng rng(7);
+  const Time horizon(Duration::seconds(60).usec());
+  rt.inject_arrivals(workload::generate_arrivals(rt.tasks(), horizon, rng));
+  rt.run_until(horizon + Duration::seconds(10));
+
+  const auto& alert = rt.metrics().per_task().at(TaskId(3));
+  std::printf(
+      "accepted utilization ratio: %.3f\n"
+      "hazard alerts: %llu arrived, %llu handled, %llu skipped, "
+      "0 deadline misses allowed -> %llu observed\n"
+      "alert end-to-end response: mean %.1f ms, max %.1f ms "
+      "(deadline 900 ms)\n\n",
+      rt.metrics().accepted_utilization_ratio(),
+      static_cast<unsigned long long>(alert.arrivals),
+      static_cast<unsigned long long>(alert.completions),
+      static_cast<unsigned long long>(alert.rejections),
+      static_cast<unsigned long long>(alert.deadline_misses),
+      alert.response_ms.mean(), alert.response_ms.max());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Industrial plant monitoring (paper Section 1 scenario)\n");
+  std::printf("%s\n", config::render_questions().c_str());
+
+  // Critical-control profile: answers 1=no, 2=yes, 3=yes, 4=PT (the
+  // paper's Figure 4 example answers).
+  config::Answers critical;
+  critical.job_skipping = false;
+  critical.replicated_components = true;
+  critical.state_persistence = true;
+  critical.overhead = core::OverheadTolerance::kPerTask;
+  run_profile("critical-control profile (expects T_T_T)", critical);
+
+  // Loss-tolerant profile: answers 1=yes, 2=yes, 3=no, 4=PJ.
+  config::Answers tolerant;
+  tolerant.job_skipping = true;
+  tolerant.replicated_components = true;
+  tolerant.state_persistence = false;
+  tolerant.overhead = core::OverheadTolerance::kPerJob;
+  run_profile("loss-tolerant profile (expects J_J_J)", tolerant);
+
+  std::printf(
+      "Reading: the critical profile admits tasks wholesale and never skips\n"
+      "an admitted job; the loss-tolerant profile trades occasional skips\n"
+      "for higher accepted utilization under the same workload.\n");
+  return 0;
+}

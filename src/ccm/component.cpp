@@ -1,0 +1,126 @@
+#include "ccm/component.h"
+
+#include <cassert>
+
+#include "ccm/container.h"
+
+namespace rtcm::ccm {
+
+const char* to_string(LifecycleState state) {
+  switch (state) {
+    case LifecycleState::kCreated:
+      return "Created";
+    case LifecycleState::kConfigured:
+      return "Configured";
+    case LifecycleState::kActive:
+      return "Active";
+    case LifecycleState::kPassivated:
+      return "Passivated";
+  }
+  return "?";
+}
+
+Component::Component(std::string type_name)
+    : type_name_(std::move(type_name)) {}
+
+const ContainerContext& Component::context() const {
+  assert(container_ && "component not installed in a container");
+  return container_->context();
+}
+
+Status Component::configure(const AttributeMap& properties) {
+  const bool pre_activation = state_ == LifecycleState::kCreated ||
+                              state_ == LifecycleState::kConfigured;
+  const bool runtime_ok = state_ == LifecycleState::kActive &&
+                          supports_runtime_reconfiguration();
+  if (!pre_activation && !runtime_ok) {
+    return Status::error("component '" + instance_name_ +
+                         "' cannot be configured in state " +
+                         std::string(to_string(state_)));
+  }
+  attributes_.merge(properties);
+  if (Status s = on_configure(attributes_); !s.is_ok()) return s;
+  if (pre_activation) state_ = LifecycleState::kConfigured;
+  return Status::ok();
+}
+
+Status Component::activate() {
+  if (state_ == LifecycleState::kActive) {
+    return Status::error("component '" + instance_name_ + "' already active");
+  }
+  if (container_ == nullptr) {
+    return Status::error("component '" + type_name_ +
+                         "' must be installed before activation");
+  }
+  if (Status s = on_activate(); !s.is_ok()) return s;
+  state_ = LifecycleState::kActive;
+  return Status::ok();
+}
+
+Status Component::passivate() {
+  if (state_ != LifecycleState::kActive) {
+    return Status::error("component '" + instance_name_ + "' is not active");
+  }
+  on_passivate();
+  state_ = LifecycleState::kPassivated;
+  return Status::ok();
+}
+
+std::any Component::facet(const std::string& port) const {
+  const auto it = facets_.find(port);
+  return it == facets_.end() ? std::any{} : it->second;
+}
+
+Status Component::connect_receptacle(const std::string& port, std::any iface) {
+  const auto it = receptacles_.find(port);
+  if (it == receptacles_.end()) {
+    return Status::error("component '" + instance_name_ +
+                         "' has no receptacle '" + port + "'");
+  }
+  return it->second(std::move(iface));
+}
+
+std::vector<std::string> Component::facet_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, iface] : facets_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Component::receptacle_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : receptacles_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Component::event_source_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, type] : event_sources_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Component::event_sink_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, type] : event_sinks_) out.push_back(name);
+  return out;
+}
+
+void Component::provide_facet(const std::string& port, std::any iface) {
+  facets_[port] = std::move(iface);
+}
+
+void Component::declare_receptacle(const std::string& port,
+                                   std::function<Status(std::any)> connector) {
+  receptacles_[port] = std::move(connector);
+}
+
+void Component::declare_event_source(const std::string& port,
+                                     events::EventType type) {
+  event_sources_[port] = type;
+}
+
+void Component::declare_event_sink(const std::string& port,
+                                   events::EventType type) {
+  event_sinks_[port] = type;
+}
+
+}  // namespace rtcm::ccm

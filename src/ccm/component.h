@@ -1,0 +1,116 @@
+// CCM-lite component base class.
+//
+// A component is a unit of implementation and composition (paper §2) with:
+//   - typed attributes applied through configure() — the Configurator /
+//     set_configuration path of Figure 4,
+//   - named facets (provided interfaces) and receptacles (required
+//     interfaces) wired by the deployment engine,
+//   - event source/sink declarations (documentation + introspection; actual
+//     event flow goes through the federated channel held by the container),
+//   - a lifecycle: Created -> Configured -> Active -> Passivated.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccm/attributes.h"
+#include "events/event.h"
+#include "util/result.h"
+
+namespace rtcm::ccm {
+
+class Container;
+struct ContainerContext;
+
+enum class LifecycleState { kCreated, kConfigured, kActive, kPassivated };
+
+[[nodiscard]] const char* to_string(LifecycleState state);
+
+class Component {
+ public:
+  explicit Component(std::string type_name);
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& type_name() const { return type_name_; }
+  /// Instance name; empty until installed into a container.
+  [[nodiscard]] const std::string& instance_name() const {
+    return instance_name_;
+  }
+  [[nodiscard]] LifecycleState state() const { return state_; }
+  /// The hosting container; null until installed.
+  [[nodiscard]] Container* container() const { return container_; }
+  /// The hosting container's context; asserts if not installed.
+  [[nodiscard]] const ContainerContext& context() const;
+
+  /// Apply configProperties (set_configuration).  Allowed in Created or
+  /// Configured state — and, for components that opt in via
+  /// supports_runtime_reconfiguration(), also while Active (paper §5: the
+  /// TE's attributes "may be modified at run-time").  Attributes are
+  /// retained and re-readable.
+  Status configure(const AttributeMap& properties);
+
+  /// Whether configure() is permitted while Active.
+  [[nodiscard]] virtual bool supports_runtime_reconfiguration() const {
+    return false;
+  }
+
+  /// Transition to Active; subclasses subscribe to events here.
+  Status activate();
+
+  /// Transition to Passivated; must currently be Active.
+  Status passivate();
+
+  [[nodiscard]] const AttributeMap& attributes() const { return attributes_; }
+
+  // --- Ports -------------------------------------------------------------
+
+  /// Facet lookup (std::any holds a raw interface pointer).  Empty any if
+  /// the port does not exist.
+  [[nodiscard]] std::any facet(const std::string& port) const;
+
+  /// Wire `iface` into the named receptacle; the registered connector
+  /// any_casts it to the expected interface type.
+  Status connect_receptacle(const std::string& port, std::any iface);
+
+  [[nodiscard]] std::vector<std::string> facet_names() const;
+  [[nodiscard]] std::vector<std::string> receptacle_names() const;
+  [[nodiscard]] std::vector<std::string> event_source_names() const;
+  [[nodiscard]] std::vector<std::string> event_sink_names() const;
+
+ protected:
+  /// Subclass hooks.
+  virtual Status on_configure(const AttributeMap& properties) {
+    (void)properties;
+    return Status::ok();
+  }
+  virtual Status on_activate() { return Status::ok(); }
+  virtual void on_passivate() {}
+
+  /// Port registration (call from the subclass constructor).
+  void provide_facet(const std::string& port, std::any iface);
+  void declare_receptacle(const std::string& port,
+                          std::function<Status(std::any)> connector);
+  void declare_event_source(const std::string& port, events::EventType type);
+  void declare_event_sink(const std::string& port, events::EventType type);
+
+ private:
+  friend class Container;
+
+  std::string type_name_;
+  std::string instance_name_;
+  LifecycleState state_ = LifecycleState::kCreated;
+  Container* container_ = nullptr;
+  AttributeMap attributes_;
+
+  std::map<std::string, std::any> facets_;
+  std::map<std::string, std::function<Status(std::any)>> receptacles_;
+  std::map<std::string, events::EventType> event_sources_;
+  std::map<std::string, events::EventType> event_sinks_;
+};
+
+}  // namespace rtcm::ccm

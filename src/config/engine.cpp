@@ -1,0 +1,79 @@
+#include "config/engine.h"
+
+#include <algorithm>
+
+#include "config/workload_spec.h"
+#include "dance/engine.h"
+#include "dance/plan_xml.h"
+#include "sched/edms.h"
+
+namespace rtcm::config {
+
+Result<EngineOutput> ConfigurationEngine::configure(
+    const EngineInput& input) const {
+  using R = Result<EngineOutput>;
+  EngineOutput out;
+
+  auto tasks = parse_workload_spec(input.workload_spec);
+  if (!tasks.is_ok()) {
+    return R::error("workload spec: " + tasks.message());
+  }
+  out.tasks = std::move(tasks).value();
+
+  if (input.explicit_strategies.has_value()) {
+    // A developer may request an explicit combination, but the engine must
+    // detect and disallow contradictory configurations (paper §6).
+    if (!input.explicit_strategies->valid()) {
+      return R::error("invalid service configuration " +
+                      input.explicit_strategies->label() + ": " +
+                      input.explicit_strategies->invalid_reason());
+    }
+    out.selection.strategies = *input.explicit_strategies;
+  } else {
+    out.selection = core::select_strategies(to_characteristics(input.answers));
+  }
+
+  std::int32_t max_id = 0;
+  for (const ProcessorId p : out.tasks.processors()) {
+    max_id = std::max(max_id, p.value());
+  }
+  out.task_manager = input.task_manager.value_or(ProcessorId(max_id + 1));
+
+  PlanBuilderInput plan_input;
+  plan_input.tasks = &out.tasks;
+  plan_input.strategies = out.selection.strategies;
+  plan_input.task_manager = out.task_manager;
+  plan_input.lb_policy = input.lb_policy;
+  plan_input.label = input.label;
+  auto plan = build_deployment_plan(plan_input);
+  if (!plan.is_ok()) return R::error(plan.message());
+  out.plan = std::move(plan).value();
+  out.xml = dance::plan_to_xml(out.plan);
+  out.priorities = sched::assign_edms_priorities(out.tasks);
+  return out;
+}
+
+Result<std::unique_ptr<core::SystemRuntime>> ConfigurationEngine::launch(
+    const EngineOutput& output, core::SystemConfig base) {
+  using R = Result<std::unique_ptr<core::SystemRuntime>>;
+  base.strategies = output.selection.strategies;
+  base.task_manager = output.task_manager;
+  auto runtime =
+      std::make_unique<core::SystemRuntime>(std::move(base), output.tasks);
+  if (Status s = runtime->assemble_infrastructure(); !s.is_ok()) {
+    return R::error(s.message());
+  }
+  auto report = dance::PlanLauncher().launch_from_xml(
+      output.xml,
+      [&runtime](ProcessorId node) -> ccm::Container* {
+        return runtime->find_container(node);
+      },
+      runtime->factory());
+  if (!report.is_ok()) return R::error(report.message());
+  if (Status s = runtime->finalize_deployment(); !s.is_ok()) {
+    return R::error(s.message());
+  }
+  return runtime;
+}
+
+}  // namespace rtcm::config

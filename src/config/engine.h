@@ -1,0 +1,59 @@
+// Front-end configuration engine (paper §6, Figure 4).
+//
+// Ties the pieces together: parse the developer's workload specification,
+// map the questionnaire answers to service strategies (Table 1), refuse
+// invalid explicit combinations, assign EDMS priorities, and emit the
+// XML-based deployment plan DAnCE launches.  `launch()` then performs the
+// full pipeline against a fresh SystemRuntime: parse plan -> deploy
+// components on each node -> set_configuration -> activate.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "config/plan_builder.h"
+#include "config/questionnaire.h"
+#include "core/criteria.h"
+#include "core/runtime.h"
+#include "dance/deployment_plan.h"
+#include "sched/task.h"
+
+namespace rtcm::config {
+
+struct EngineInput {
+  /// Workload specification text (see workload_spec.h).
+  std::string workload_spec;
+  /// Developer's answers to the four questions.
+  Answers answers;
+  /// Bypass the questionnaire with an explicit combination; the engine
+  /// still refuses invalid ones (its key safety feature).
+  std::optional<core::StrategyCombination> explicit_strategies;
+  std::optional<ProcessorId> task_manager;
+  std::string label = "rtcm-deployment";
+  std::string lb_policy = "lowest-util";
+};
+
+struct EngineOutput {
+  sched::TaskSet tasks;
+  core::StrategySelection selection;
+  ProcessorId task_manager;
+  dance::DeploymentPlan plan;
+  std::string xml;
+  std::unordered_map<TaskId, Priority> priorities;
+};
+
+class ConfigurationEngine {
+ public:
+  [[nodiscard]] Result<EngineOutput> configure(const EngineInput& input) const;
+
+  /// Build a runtime from an engine output via the DAnCE pipeline:
+  /// infrastructure -> PlanLauncher(xml) -> finalize.  `base` supplies the
+  /// simulation parameters (latency, tracing); its strategies/task_manager
+  /// are overwritten from the output.
+  [[nodiscard]] static Result<std::unique_ptr<core::SystemRuntime>> launch(
+      const EngineOutput& output, core::SystemConfig base);
+};
+
+}  // namespace rtcm::config

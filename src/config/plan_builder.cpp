@@ -1,0 +1,133 @@
+#include "config/plan_builder.h"
+
+#include <algorithm>
+
+#include "core/admission_control.h"
+#include "core/idle_resetter.h"
+#include "core/load_balancer_component.h"
+#include "core/runtime.h"
+#include "core/subtask_component.h"
+#include "core/task_effector.h"
+#include "sched/edms.h"
+#include "util/strings.h"
+
+namespace rtcm::config {
+
+Result<dance::DeploymentPlan> build_deployment_plan(
+    const PlanBuilderInput& input) {
+  using R = Result<dance::DeploymentPlan>;
+  if (input.tasks == nullptr || input.tasks->empty()) {
+    return R::error("plan builder needs a non-empty task set");
+  }
+  if (!input.strategies.valid()) {
+    return R::error("invalid strategy combination " +
+                    input.strategies.label() + ": " +
+                    input.strategies.invalid_reason());
+  }
+  const sched::TaskSet& tasks = *input.tasks;
+  const auto app_processors = tasks.processors();
+  if (std::find(app_processors.begin(), app_processors.end(),
+                input.task_manager) != app_processors.end()) {
+    return R::error("task manager " + input.task_manager.to_string() +
+                    " collides with an application processor");
+  }
+
+  dance::DeploymentPlan plan;
+  plan.label = input.label;
+
+  // Central task manager: LB then AC (install order mirrors the runtime).
+  {
+    dance::InstanceDeployment lb;
+    lb.id = "Central-LB";
+    lb.type = core::LoadBalancerComponent::kTypeName;
+    lb.node = input.task_manager;
+    lb.properties.set_string(core::LoadBalancerComponent::kPolicyAttr,
+                             input.lb_policy);
+    lb.properties.set_int(core::LoadBalancerComponent::kSeedAttr,
+                          static_cast<std::int64_t>(input.lb_seed));
+    plan.instances.push_back(std::move(lb));
+
+    dance::InstanceDeployment ac;
+    ac.id = "Central-AC";
+    ac.type = core::AdmissionControl::kTypeName;
+    ac.node = input.task_manager;
+    ac.properties.set_string(core::AdmissionControl::kAcStrategyAttr,
+                             core::SystemRuntime::ac_attr(input.strategies.ac));
+    ac.properties.set_string(core::AdmissionControl::kLbStrategyAttr,
+                             core::SystemRuntime::lb_attr(input.strategies.lb));
+    if (input.analysis == "DS") {
+      ac.properties.set_string(core::AdmissionControl::kAnalysisAttr, "DS");
+      ac.properties.set_duration(core::AdmissionControl::kDsBudgetAttr,
+                                 input.ds_budget);
+      ac.properties.set_duration(core::AdmissionControl::kDsPeriodAttr,
+                                 input.ds_period);
+      ac.properties.set_duration(core::AdmissionControl::kDsHopOverheadAttr,
+                                 input.ds_hop_overhead);
+    } else if (input.analysis != "AUB") {
+      return R::error("analysis must be 'AUB' or 'DS', got '" +
+                      input.analysis + "'");
+    }
+    plan.instances.push_back(std::move(ac));
+
+    plan.connections.push_back(dance::ConnectionDeployment{
+        "ac-location", "Central-AC", "Location", "Central-LB", "Location"});
+  }
+
+  // Per application processor: TE + IR.
+  const std::string te_mode = core::SystemRuntime::te_mode(input.strategies);
+  const std::string ir_value =
+      core::SystemRuntime::ir_attr(input.strategies.ir);
+  for (const ProcessorId p : app_processors) {
+    dance::InstanceDeployment te;
+    te.id = "TE@" + p.to_string();
+    te.type = core::TaskEffector::kTypeName;
+    te.node = p;
+    te.properties.set_string(core::TaskEffector::kModeAttr, te_mode);
+    te.properties.set_int("ProcessorID", p.value());
+    plan.instances.push_back(std::move(te));
+
+    dance::InstanceDeployment ir;
+    ir.id = "IR@" + p.to_string();
+    ir.type = core::IdleResetter::kTypeName;
+    ir.node = p;
+    ir.properties.set_string(core::IdleResetter::kStrategyAttr, ir_value);
+    ir.properties.set_int("ProcessorID", p.value());
+    plan.instances.push_back(std::move(ir));
+  }
+
+  // Subtask instances with EDMS priorities.
+  const auto priorities = sched::assign_edms_priorities(tasks);
+  for (const sched::TaskSpec& task : tasks.tasks()) {
+    const Priority priority = priorities.at(task.id);
+    for (std::size_t j = 0; j < task.subtasks.size(); ++j) {
+      const sched::SubtaskSpec& st = task.subtasks[j];
+      const bool last = (j + 1 == task.subtasks.size());
+      for (const ProcessorId host : st.candidates()) {
+        dance::InstanceDeployment inst;
+        inst.id = strfmt("T%d_S%zu@P%d", task.id.value(), j, host.value());
+        inst.type = last ? core::LastSubtask::kTypeName
+                         : core::FirstIntermediateSubtask::kTypeName;
+        inst.node = host;
+        inst.properties.set_int(core::SubtaskComponentBase::kTaskAttr,
+                                task.id.value());
+        inst.properties.set_int(core::SubtaskComponentBase::kStageAttr,
+                                static_cast<std::int64_t>(j));
+        inst.properties.set_duration(core::SubtaskComponentBase::kExecutionAttr,
+                                     st.execution);
+        inst.properties.set_int(core::SubtaskComponentBase::kPriorityAttr,
+                                priority.level());
+        inst.properties.set_string(core::SubtaskComponentBase::kIrModeAttr,
+                                   ir_value);
+        plan.connections.push_back(dance::ConnectionDeployment{
+            inst.id + "-complete", inst.id, "Complete",
+            "IR@" + host.to_string(), "Complete"});
+        plan.instances.push_back(std::move(inst));
+      }
+    }
+  }
+
+  if (Status s = plan.validate(); !s.is_ok()) return R::error(s.message());
+  return plan;
+}
+
+}  // namespace rtcm::config

@@ -1,0 +1,39 @@
+// Deployment-plan synthesis from a workload and a strategy selection.
+//
+// Produces the same topology the SystemRuntime installs directly: Central-AC
+// and Central-LB on the task manager node, one TE and IR per application
+// processor, and F/I / Last Subtask instances on every primary and replica
+// processor — with EDMS priorities written into the subtask instances'
+// configProperties exactly as the paper's front-end configuration engine
+// writes them into the XML plan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/strategies.h"
+#include "dance/deployment_plan.h"
+#include "sched/task.h"
+#include "util/result.h"
+
+namespace rtcm::config {
+
+struct PlanBuilderInput {
+  const sched::TaskSet* tasks = nullptr;
+  core::StrategyCombination strategies{};
+  ProcessorId task_manager;
+  std::string lb_policy = "lowest-util";
+  std::uint64_t lb_seed = 1;
+  std::string label = "rtcm-deployment";
+  /// Aperiodic analysis configured on the Central-AC ("AUB" or "DS"), with
+  /// the DS server parameters when "DS".
+  std::string analysis = "AUB";
+  Duration ds_budget = Duration::milliseconds(25);
+  Duration ds_period = Duration::milliseconds(100);
+  Duration ds_hop_overhead = Duration::zero();
+};
+
+[[nodiscard]] Result<dance::DeploymentPlan> build_deployment_plan(
+    const PlanBuilderInput& input);
+
+}  // namespace rtcm::config

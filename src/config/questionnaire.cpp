@@ -1,0 +1,57 @@
+#include "config/questionnaire.h"
+
+#include "util/strings.h"
+
+namespace rtcm::config {
+
+core::CpsCharacteristics to_characteristics(const Answers& a) {
+  core::CpsCharacteristics c;
+  c.job_skipping = a.job_skipping;
+  c.component_replication = a.replicated_components;
+  c.state_persistency = a.state_persistence;
+  c.overhead_tolerance = a.overhead;
+  return c;
+}
+
+Result<Answers> parse_answers(const std::string& q1, const std::string& q2,
+                              const std::string& q3, const std::string& q4) {
+  Answers a;
+  const auto parse_yn = [](const std::string& text, bool& out) {
+    return parse_bool(text, out);
+  };
+  if (!parse_yn(q1, a.job_skipping)) {
+    return Result<Answers>::error("question 1 expects yes/no, got '" + q1 +
+                                  "'");
+  }
+  if (!parse_yn(q2, a.replicated_components)) {
+    return Result<Answers>::error("question 2 expects yes/no, got '" + q2 +
+                                  "'");
+  }
+  if (!parse_yn(q3, a.state_persistence)) {
+    return Result<Answers>::error("question 3 expects yes/no, got '" + q3 +
+                                  "'");
+  }
+  const std::string overhead = to_lower(trim(q4));
+  if (overhead == "n" || overhead == "none") {
+    a.overhead = core::OverheadTolerance::kNone;
+  } else if (overhead == "pt" || overhead == "per-task") {
+    a.overhead = core::OverheadTolerance::kPerTask;
+  } else if (overhead == "pj" || overhead == "per-job") {
+    a.overhead = core::OverheadTolerance::kPerJob;
+  } else {
+    return Result<Answers>::error("question 4 expects N, PT or PJ, got '" +
+                                  q4 + "'");
+  }
+  return a;
+}
+
+std::string render_questions() {
+  return
+      "(1) Does your application allow job skipping? [yes/no]\n"
+      "(2) Does your application have replicated components? [yes/no]\n"
+      "(3) Does your application require state persistence? [yes/no]\n"
+      "(4) How much extra overhead can you accept as it potentially improves "
+      "schedulability? [none (N), some per task (PT), some per job (PJ)]\n";
+}
+
+}  // namespace rtcm::config

@@ -1,0 +1,37 @@
+// The configuration engine's developer questionnaire (paper §6).
+//
+//   (1) Does your application allow job skipping?
+//   (2) Does your application have replicated components?
+//   (3) Does your application require state persistence?
+//   (4) How much extra overhead can you accept as it potentially improves
+//       schedulability?  [none (N), some per task (PT), some per job (PJ)]
+#pragma once
+
+#include <string>
+
+#include "core/criteria.h"
+#include "util/result.h"
+
+namespace rtcm::config {
+
+struct Answers {
+  bool job_skipping = false;          // question 1 (criterion C1)
+  bool replicated_components = false; // question 2 (criterion C3)
+  bool state_persistence = false;     // question 3 (criterion C2)
+  core::OverheadTolerance overhead = core::OverheadTolerance::kPerTask;  // q4
+};
+
+/// Map the answers onto the criteria structure used by the strategy mapper.
+[[nodiscard]] core::CpsCharacteristics to_characteristics(const Answers& a);
+
+/// Parse CLI-style answers: q1..q3 accept yes/no (y/n), q4 accepts
+/// N / PT / PJ (case-insensitive).
+[[nodiscard]] Result<Answers> parse_answers(const std::string& q1,
+                                            const std::string& q2,
+                                            const std::string& q3,
+                                            const std::string& q4);
+
+/// The four questions, rendered for interactive front-ends.
+[[nodiscard]] std::string render_questions();
+
+}  // namespace rtcm::config

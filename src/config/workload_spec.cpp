@@ -1,0 +1,200 @@
+#include "config/workload_spec.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace rtcm::config {
+
+Result<Duration> parse_duration(const std::string& text) {
+  const std::string t = trim(text);
+  if (t.empty()) return Result<Duration>::error("empty duration");
+
+  double scale = 1.0;  // microseconds
+  std::string number = t;
+  if (ends_with(t, "us")) {
+    number = t.substr(0, t.size() - 2);
+  } else if (ends_with(t, "ms")) {
+    scale = 1e3;
+    number = t.substr(0, t.size() - 2);
+  } else if (ends_with(t, "s")) {
+    scale = 1e6;
+    number = t.substr(0, t.size() - 1);
+  }
+  double value = 0;
+  if (!parse_double(number, value)) {
+    return Result<Duration>::error("malformed duration '" + t + "'");
+  }
+  if (value < 0) {
+    return Result<Duration>::error("duration must be non-negative: '" + t +
+                                   "'");
+  }
+  return Duration(static_cast<std::int64_t>(std::llround(value * scale)));
+}
+
+namespace {
+
+/// "P3" or "3" -> ProcessorId(3).
+Result<ProcessorId> parse_processor(const std::string& text) {
+  std::string body = trim(text);
+  if (!body.empty() && (body[0] == 'P' || body[0] == 'p')) {
+    body = body.substr(1);
+  }
+  std::int64_t v = 0;
+  if (!parse_int64(body, v) || v < 0) {
+    return Result<ProcessorId>::error("malformed processor '" + text + "'");
+  }
+  return ProcessorId(static_cast<std::int32_t>(v));
+}
+
+/// key=value tokens -> map, preserving unknown keys for error reporting.
+Result<std::map<std::string, std::string>> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return Result<std::map<std::string, std::string>>::error(
+          "expected key=value, got '" + tokens[i] + "'");
+    }
+    out[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<sched::TaskSet> parse_workload_spec(const std::string& text) {
+  using R = Result<sched::TaskSet>;
+  sched::TaskSet set;
+  sched::TaskSpec current;
+  bool have_task = false;
+  std::int32_t next_id = 0;
+
+  auto flush = [&]() -> Status {
+    if (!have_task) return Status::ok();
+    have_task = false;
+    return set.add(std::move(current));
+  };
+
+  const auto lines = split(text, '\n');
+  for (std::size_t lineno = 1; lineno <= lines.size(); ++lineno) {
+    std::string line = lines[lineno - 1];
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    const auto tokens = split_whitespace(line);
+    if (tokens.empty()) continue;
+    const std::string err_prefix = "line " + std::to_string(lineno) + ": ";
+
+    if (tokens[0] == "task") {
+      if (Status s = flush(); !s.is_ok()) {
+        return R::error(err_prefix + s.message());
+      }
+      if (tokens.size() < 3) {
+        return R::error(err_prefix +
+                        "task needs a name and a kind (periodic|aperiodic)");
+      }
+      current = sched::TaskSpec{};
+      current.id = TaskId(next_id++);
+      current.name = tokens[1];
+      const std::string kind = to_lower(tokens[2]);
+      if (kind == "periodic") {
+        current.kind = sched::TaskKind::kPeriodic;
+      } else if (kind == "aperiodic") {
+        current.kind = sched::TaskKind::kAperiodic;
+      } else {
+        return R::error(err_prefix + "unknown task kind '" + tokens[2] + "'");
+      }
+      auto kv = parse_kv(tokens, 3);
+      if (!kv.is_ok()) return R::error(err_prefix + kv.message());
+      for (const auto& [key, value] : kv.value()) {
+        if (key == "deadline" || key == "period" ||
+            key == "mean_interarrival") {
+          auto d = parse_duration(value);
+          if (!d.is_ok()) return R::error(err_prefix + d.message());
+          if (key == "deadline") current.deadline = d.value();
+          if (key == "period") current.period = d.value();
+          if (key == "mean_interarrival") current.mean_interarrival = d.value();
+        } else {
+          return R::error(err_prefix + "unknown task attribute '" + key + "'");
+        }
+      }
+      if (current.kind == sched::TaskKind::kAperiodic &&
+          current.mean_interarrival.is_zero()) {
+        // Default: mean interarrival equals the deadline.
+        current.mean_interarrival = current.deadline;
+      }
+      have_task = true;
+      continue;
+    }
+
+    if (tokens[0] == "subtask") {
+      if (!have_task) {
+        return R::error(err_prefix + "subtask outside of a task");
+      }
+      sched::SubtaskSpec st;
+      auto kv = parse_kv(tokens, 1);
+      if (!kv.is_ok()) return R::error(err_prefix + kv.message());
+      for (const auto& [key, value] : kv.value()) {
+        if (key == "exec") {
+          auto d = parse_duration(value);
+          if (!d.is_ok()) return R::error(err_prefix + d.message());
+          st.execution = d.value();
+        } else if (key == "primary") {
+          auto p = parse_processor(value);
+          if (!p.is_ok()) return R::error(err_prefix + p.message());
+          st.primary = p.value();
+        } else if (key == "replicas") {
+          for (const std::string& r : split(value, ',')) {
+            auto p = parse_processor(r);
+            if (!p.is_ok()) return R::error(err_prefix + p.message());
+            st.replicas.push_back(p.value());
+          }
+        } else {
+          return R::error(err_prefix + "unknown subtask attribute '" + key +
+                          "'");
+        }
+      }
+      current.subtasks.push_back(std::move(st));
+      continue;
+    }
+
+    return R::error(err_prefix + "unknown directive '" + tokens[0] + "'");
+  }
+
+  if (Status s = flush(); !s.is_ok()) return R::error(s.message());
+  if (set.empty()) return R::error("workload spec defines no tasks");
+  return set;
+}
+
+std::string workload_spec_to_text(const sched::TaskSet& tasks) {
+  std::string out = "# rtcm workload specification\n";
+  for (const sched::TaskSpec& t : tasks.tasks()) {
+    out += "task " + (t.name.empty() ? t.id.to_string() : t.name);
+    if (t.kind == sched::TaskKind::kPeriodic) {
+      out += " periodic deadline=" + t.deadline.to_string() +
+             " period=" + t.period.to_string();
+    } else {
+      out += " aperiodic deadline=" + t.deadline.to_string() +
+             " mean_interarrival=" + t.mean_interarrival.to_string();
+    }
+    out += "\n";
+    for (const sched::SubtaskSpec& st : t.subtasks) {
+      out += "  subtask exec=" + st.execution.to_string() +
+             " primary=" + st.primary.to_string();
+      if (!st.replicas.empty()) {
+        out += " replicas=";
+        for (std::size_t i = 0; i < st.replicas.size(); ++i) {
+          if (i) out += ",";
+          out += st.replicas[i].to_string();
+        }
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace rtcm::config

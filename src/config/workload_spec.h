@@ -1,0 +1,35 @@
+// Workload specification files (paper §6).
+//
+// "The application developer first provides a workload specification file
+// which describes each end-to-end task and where its subtasks execute."
+//
+// Line-oriented text format ('#' starts a comment):
+//
+//   task <name> periodic deadline=<duration> period=<duration>
+//   task <name> aperiodic deadline=<duration> mean_interarrival=<duration>
+//     subtask exec=<duration> primary=P<k> [replicas=P<i>,P<j>]
+//
+// Durations accept us/ms/s suffixes ("250ms", "1.5s", "322us"); a bare
+// number is microseconds.  Task ids are assigned in file order.
+#pragma once
+
+#include <string>
+
+#include "sched/task.h"
+#include "util/result.h"
+#include "util/time.h"
+
+namespace rtcm::config {
+
+/// Parse "250ms" / "1.5s" / "322us" / "1000" (microseconds).
+[[nodiscard]] Result<Duration> parse_duration(const std::string& text);
+
+/// Parse a workload specification document into a validated task set.
+/// Errors carry the line number.
+[[nodiscard]] Result<sched::TaskSet> parse_workload_spec(
+    const std::string& text);
+
+/// Serialize a task set back to spec text (lossless round-trip).
+[[nodiscard]] std::string workload_spec_to_text(const sched::TaskSet& tasks);
+
+}  // namespace rtcm::config

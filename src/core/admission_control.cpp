@@ -1,0 +1,326 @@
+#include "core/admission_control.h"
+
+#include <cassert>
+
+#include "ccm/container.h"
+#include "sim/trace.h"
+#include "util/strings.h"
+
+namespace rtcm::core {
+
+using events::AcceptPayload;
+using events::EventType;
+using events::IdleResetPayload;
+using events::RejectPayload;
+using events::TaskArrivePayload;
+
+AdmissionControl::AdmissionControl(const sched::TaskSet& tasks,
+                                   MetricsCollector* metrics)
+    : Component(kTypeName), tasks_(tasks), metrics_(metrics) {
+  declare_event_sink("TaskArrive", EventType::kTaskArrive);
+  declare_event_sink("IdleReset", EventType::kIdleReset);
+  declare_event_source("Accept", EventType::kAccept);
+  declare_event_source("Reject", EventType::kReject);
+  declare_receptacle("Location", [this](std::any iface) {
+    auto* service = std::any_cast<LocationService*>(&iface);
+    if (service == nullptr || *service == nullptr) {
+      return Status::error(
+          "AC 'Location' receptacle expects a LocationService*");
+    }
+    location_ = *service;
+    return Status::ok();
+  });
+}
+
+Status AdmissionControl::on_configure(const ccm::AttributeMap& attributes) {
+  const std::string ac = attributes.get_string_or(kAcStrategyAttr, "PT");
+  if (ac == "PT") {
+    ac_ = AcStrategy::kPerTask;
+  } else if (ac == "PJ") {
+    ac_ = AcStrategy::kPerJob;
+  } else {
+    return Status::error("AC_Strategy must be 'PT' or 'PJ', got '" + ac + "'");
+  }
+  const std::string lb = attributes.get_string_or(kLbStrategyAttr, "N");
+  if (lb == "N") {
+    lb_ = LbStrategy::kNone;
+  } else if (lb == "PT") {
+    lb_ = LbStrategy::kPerTask;
+  } else if (lb == "PJ") {
+    lb_ = LbStrategy::kPerJob;
+  } else {
+    return Status::error("LB_Strategy must be 'N', 'PT' or 'PJ', got '" + lb +
+                         "'");
+  }
+  const std::string analysis = attributes.get_string_or(kAnalysisAttr, "AUB");
+  if (analysis == "AUB") {
+    analysis_ = AperiodicAnalysis::kAub;
+    ds_.reset();
+  } else if (analysis == "DS") {
+    analysis_ = AperiodicAnalysis::kDeferrableServer;
+    sched::DsServerConfig ds_config;
+    ds_config.budget =
+        Duration(attributes.get_int_or(kDsBudgetAttr, 25000));
+    ds_config.period =
+        Duration(attributes.get_int_or(kDsPeriodAttr, 100000));
+    ds_config.hop_overhead =
+        Duration(attributes.get_int_or(kDsHopOverheadAttr, 0));
+    if (ds_config.budget <= Duration::zero() ||
+        ds_config.period < ds_config.budget ||
+        ds_config.hop_overhead.is_negative()) {
+      return Status::error("DS server needs 0 < DS_Budget <= DS_Period and "
+                           "DS_HopOverhead >= 0");
+    }
+    ds_.emplace(ds_config);
+  } else {
+    return Status::error("Analysis must be 'AUB' or 'DS', got '" + analysis +
+                         "'");
+  }
+  return Status::ok();
+}
+
+Status AdmissionControl::on_activate() {
+  if (lb_ != LbStrategy::kNone && location_ == nullptr) {
+    return Status::error(
+        "AC configured with load balancing but the 'Location' receptacle is "
+        "not connected");
+  }
+  if (analysis_ == AperiodicAnalysis::kDeferrableServer) {
+    // The servers' worst-case interference on periodic work is reserved as
+    // permanent background utilization on every application processor (the
+    // servers themselves are not subject to Equation 1).
+    const double interference = ds_->config().periodic_interference();
+    if (interference >= 1.0) {
+      return Status::error(
+          "DS server interference (2*B/P) saturates the processors");
+    }
+    for (const ProcessorId proc : tasks_.processors()) {
+      state_.add_background(proc, interference);
+    }
+  }
+  auto& channel = context().local_channel();
+  channel.subscribe({EventType::kTaskArrive}, [this](const events::Event& e) {
+    handle_task_arrive(events::payload_as<TaskArrivePayload>(e));
+  });
+  channel.subscribe({EventType::kIdleReset}, [this](const events::Event& e) {
+    handle_idle_reset(events::payload_as<IdleResetPayload>(e));
+  });
+  return Status::ok();
+}
+
+std::vector<ProcessorId> AdmissionControl::primaries(
+    const sched::TaskSpec& spec) {
+  std::vector<ProcessorId> out;
+  out.reserve(spec.subtasks.size());
+  for (const auto& st : spec.subtasks) out.push_back(st.primary);
+  return out;
+}
+
+std::vector<ProcessorId> AdmissionControl::propose(
+    const sched::TaskSpec& spec) {
+  if (location_ == nullptr) return primaries(spec);
+  return location_->propose_placement(spec, state_.ledger());
+}
+
+std::vector<ProcessorId> AdmissionControl::placement_for(
+    const sched::TaskSpec& spec) {
+  switch (lb_) {
+    case LbStrategy::kNone:
+      return primaries(spec);
+    case LbStrategy::kPerTask: {
+      // Periodic tasks are assigned once, at first arrival; aperiodic jobs
+      // are placed at their single job arrival time (paper §4.4/§5).
+      if (spec.kind != sched::TaskKind::kPeriodic) return propose(spec);
+      const auto it = plans_.find(spec.id);
+      if (it != plans_.end()) return it->second;
+      auto placement = propose(spec);
+      plans_.emplace(spec.id, placement);
+      return placement;
+    }
+    case LbStrategy::kPerJob:
+      return propose(spec);
+  }
+  return primaries(spec);
+}
+
+sched::AdmissionDecision AdmissionControl::test(
+    const sched::TaskSpec& spec, const std::vector<ProcessorId>& placement) {
+  std::vector<sched::CandidateStage> stages;
+  stages.reserve(placement.size());
+  for (std::size_t j = 0; j < placement.size(); ++j) {
+    stages.push_back({placement[j], spec.subtask_utilization(j)});
+  }
+  ++counters_.admission_tests;
+  const auto decision = sched::aub_admission_test(
+      state_.ledger(), spec.id, stages, state_.current_footprints());
+  context().trace.record(
+      {context().sim.now(), sim::TraceKind::kAdmissionTest,
+       context().processor, spec.id, JobId(),
+       strfmt("lhs=%.3f %s", decision.candidate_lhs,
+              decision.admitted ? "pass" : "fail")});
+  return decision;
+}
+
+void AdmissionControl::maybe_move_reservation(const sched::TaskSpec& spec) {
+  const auto* reservation = state_.reservation(spec.id);
+  assert(reservation != nullptr);
+  const std::vector<ProcessorId> fresh = propose(spec);
+  if (fresh == reservation->placement) return;
+  // Release, test the new placement against the remaining load, and keep
+  // whichever placement is admissible (the old one always is: removing and
+  // re-adding it restores the exact prior state).
+  std::vector<ProcessorId> old_placement = state_.release_reservation(spec);
+  if (test(spec, fresh).admitted) {
+    state_.reserve_task(spec, fresh);
+    ++counters_.reservation_moves;
+  } else {
+    state_.reserve_task(spec, std::move(old_placement));
+  }
+}
+
+void AdmissionControl::accept(const sched::TaskSpec& spec,
+                              const TaskArrivePayload& a,
+                              std::vector<ProcessorId> placement,
+                              bool task_admitted) {
+  ++counters_.admits;
+  const Time absolute_deadline = a.arrival_time + spec.deadline;
+  context().trace.record({context().sim.now(), sim::TraceKind::kJobAdmitted,
+                          context().processor, spec.id, a.job, ""});
+  context().federation.push(
+      context().processor,
+      AcceptPayload{spec.id, a.job, a.arrival_processor, std::move(placement),
+                    absolute_deadline, task_admitted});
+}
+
+void AdmissionControl::reject(const TaskArrivePayload& a) {
+  ++counters_.rejects;
+  context().federation.push(
+      context().processor,
+      RejectPayload{a.task, a.job, a.arrival_processor});
+}
+
+void AdmissionControl::handle_ds_aperiodic(const sched::TaskSpec& spec,
+                                           const TaskArrivePayload& a) {
+  std::vector<ProcessorId> placement = placement_for(spec);
+  ++counters_.admission_tests;
+  const std::vector<Duration> bounds = ds_->stage_bounds(spec, placement);
+  const Duration round_trip = ds_->config().hop_overhead * 2;
+  const Duration bound = bounds.back() + round_trip;
+  const bool admitted = bound <= spec.deadline;
+  context().trace.record(
+      {context().sim.now(), sim::TraceKind::kAdmissionTest,
+       context().processor, spec.id, JobId(),
+       strfmt("ds-bound=%s %s", bound.to_string().c_str(),
+              admitted ? "pass" : "fail")});
+  if (!admitted) {
+    reject(a);
+    return;
+  }
+
+  ds_jobs_.emplace(a.job, ds_->add_backlog(spec, placement));
+  const JobId job = a.job;
+  // Each stage's backlog is released at its predicted completion bound —
+  // never earlier than the real completion, so later admission tests stay
+  // sound while shedding finished work far before the deadline backstop.
+  for (std::size_t j = 0; j < bounds.size(); ++j) {
+    context().sim.schedule_at(
+        a.arrival_time + round_trip + bounds[j], [this, job, j] {
+          const auto it = ds_jobs_.find(job);
+          if (it == ds_jobs_.end() || j >= it->second.size()) return;
+          if (ds_->remove_backlog(it->second[j])) {
+            it->second[j] = sched::ContributionId();
+          }
+        });
+  }
+  // Deadline backstop: drop whatever remains and forget the job.
+  context().sim.schedule_at(a.arrival_time + spec.deadline, [this, job] {
+    const auto it = ds_jobs_.find(job);
+    if (it == ds_jobs_.end()) return;
+    for (const sched::ContributionId c : it->second) {
+      (void)ds_->remove_backlog(c);
+    }
+    ds_jobs_.erase(it);
+  });
+  accept(spec, a, std::move(placement), /*task_admitted=*/false);
+}
+
+void AdmissionControl::handle_task_arrive(const TaskArrivePayload& a) {
+  const sched::TaskSpec* spec = tasks_.find(a.task);
+  assert(spec && "arrival for unknown task");
+  const bool periodic = spec->kind == sched::TaskKind::kPeriodic;
+
+  // DS analysis: aperiodic tasks go through the delay-bound test against
+  // the servers; periodic tasks fall through to the AUB paths below (with
+  // the servers' interference already reserved in the ledger).
+  if (!periodic && analysis_ == AperiodicAnalysis::kDeferrableServer) {
+    handle_ds_aperiodic(*spec, a);
+    return;
+  }
+
+  if (periodic && ac_ == AcStrategy::kPerTask) {
+    if (state_.is_reserved(a.task)) {
+      // Already admitted wholesale: the job is auto-accepted.  (The TE only
+      // forwards such arrivals when it must hold every job, i.e. LB per
+      // Job — which is exactly when the reservation may move.)
+      if (lb_ == LbStrategy::kPerJob) maybe_move_reservation(*spec);
+      ++counters_.auto_accepts;
+      accept(*spec, a, state_.reservation(a.task)->placement,
+             /*task_admitted=*/true);
+      return;
+    }
+    if (rejected_tasks_.count(a.task) > 0) {
+      reject(a);
+      return;
+    }
+    // First arrival: test once, reserve forever.
+    std::vector<ProcessorId> placement = placement_for(*spec);
+    if (test(*spec, placement).admitted) {
+      state_.reserve_task(*spec, placement);
+      accept(*spec, a, std::move(placement), /*task_admitted=*/true);
+    } else {
+      rejected_tasks_.insert(a.task);
+      reject(a);
+    }
+    return;
+  }
+
+  // Per-job admission: aperiodic jobs always, periodic jobs under AC=PJ.
+  std::vector<ProcessorId> placement = placement_for(*spec);
+  if (!test(*spec, placement).admitted) {
+    reject(a);
+    return;
+  }
+  const Time absolute_deadline = a.arrival_time + spec->deadline;
+  state_.admit_job(*spec, a.job, placement, absolute_deadline);
+  // The contribution of a job is removed when its deadline expires (§2),
+  // unless idle resetting already removed parts of it.
+  const JobId job = a.job;
+  context().sim.schedule_at(absolute_deadline,
+                            [this, job] { state_.expire_job(job); });
+  accept(*spec, a, std::move(placement), /*task_admitted=*/false);
+}
+
+void AdmissionControl::handle_idle_reset(const IdleResetPayload& payload) {
+  std::size_t applied = 0;
+  for (const events::SubjobRef& ref : payload.completed) {
+    if (state_.reset_subjob(ref.job, ref.stage)) {
+      ++applied;
+      continue;
+    }
+    // DS-admitted jobs keep their backlog in the DS book instead.
+    const auto it = ds_jobs_.find(ref.job);
+    if (it != ds_jobs_.end() && ref.stage < it->second.size() &&
+        ds_->remove_backlog(it->second[ref.stage])) {
+      it->second[ref.stage] = sched::ContributionId();
+      ++applied;
+    }
+  }
+  counters_.subjobs_reset += applied;
+  if (metrics_) metrics_->on_idle_reset(applied);
+  context().trace.record({context().sim.now(), sim::TraceKind::kIdleReset,
+                          payload.processor, TaskId(), JobId(),
+                          strfmt("%zu applied of %zu reported", applied,
+                                 payload.completed.size())});
+}
+
+}  // namespace rtcm::core

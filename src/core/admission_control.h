@@ -1,0 +1,132 @@
+// Admission Control (AC) component (paper §4.2, §5).
+//
+// The central admission controller consumes "Task Arrive" events from the
+// task effectors and "Idle Resetting" events from the idle resetters,
+// evaluates the AUB schedulability condition (Equation 1) and publishes
+// "Accept" / "Reject" events.  Placement is delegated to the Load Balancer
+// through the "Location" receptacle.
+//
+// Strategies (attributes):
+//   AC_Strategy = "PT": periodic tasks are tested once, at first arrival;
+//     admitted tasks get a permanent synthetic-utilization reservation and
+//     their later jobs bypass (or trivially pass) admission.  A task that
+//     fails its first test never runs.
+//   AC_Strategy = "PJ": every job of a periodic task is tested; rejected
+//     jobs are skipped (criterion C1).
+//   Aperiodic jobs are always tested per arrival — each job of an aperiodic
+//   task is an independent single-release task.
+//   LB_Strategy = "N" | "PT" | "PJ" selects no balancing, one placement per
+//     (periodic) task frozen at first arrival, or a fresh placement per job.
+//     Under AC=PT with LB=PJ the reservation is *moved* when a better
+//     placement passes the admission test ("the LB component may modify a
+//     previous allocation plan for a task when a new job of the task
+//     arrives", §5).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ccm/component.h"
+#include "core/metrics.h"
+#include "core/protocols.h"
+#include "core/scheduling_state.h"
+#include "core/strategies.h"
+#include "sched/ds_admission.h"
+#include "sched/task.h"
+
+namespace rtcm::core {
+
+/// Which aperiodic schedulability analysis the AC runs (paper §2: AUB or
+/// deferrable server; AUB is the paper's focus, DS the referenced
+/// alternative from the authors' prior work).
+enum class AperiodicAnalysis { kAub, kDeferrableServer };
+
+class AdmissionControl final : public ccm::Component {
+ public:
+  static constexpr const char* kTypeName = "rtcm.AdmissionControl";
+  static constexpr const char* kAcStrategyAttr = "AC_Strategy";  // PT | PJ
+  static constexpr const char* kLbStrategyAttr = "LB_Strategy";  // N | PT | PJ
+  /// "AUB" (default) or "DS".
+  static constexpr const char* kAnalysisAttr = "Analysis";
+  /// DS server parameters (microseconds); used when Analysis = "DS".
+  static constexpr const char* kDsBudgetAttr = "DS_Budget";
+  static constexpr const char* kDsPeriodAttr = "DS_Period";
+  /// Per-message middleware/communication cost the DS bound budgets for
+  /// (the deployer measures it, e.g. with the Figure 8 harness).
+  static constexpr const char* kDsHopOverheadAttr = "DS_HopOverhead";
+
+  AdmissionControl(const sched::TaskSet& tasks, MetricsCollector* metrics);
+
+  struct Counters {
+    std::uint64_t admission_tests = 0;
+    std::uint64_t admits = 0;
+    std::uint64_t rejects = 0;
+    std::uint64_t auto_accepts = 0;     // jobs of already-admitted tasks
+    std::uint64_t reservation_moves = 0;
+    std::uint64_t subjobs_reset = 0;
+  };
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const SchedulingState& state() const { return state_; }
+  [[nodiscard]] AcStrategy ac_strategy() const { return ac_; }
+  [[nodiscard]] LbStrategy lb_strategy() const { return lb_; }
+  [[nodiscard]] AperiodicAnalysis analysis() const { return analysis_; }
+  /// Present only in DS mode.
+  [[nodiscard]] const sched::DsAdmission* ds_admission() const {
+    return ds_ ? &*ds_ : nullptr;
+  }
+
+ protected:
+  Status on_configure(const ccm::AttributeMap& attributes) override;
+  Status on_activate() override;
+
+ private:
+  void handle_task_arrive(const events::TaskArrivePayload& payload);
+  void handle_idle_reset(const events::IdleResetPayload& payload);
+
+  /// Placement for this arrival per the LB strategy.
+  [[nodiscard]] std::vector<ProcessorId> placement_for(
+      const sched::TaskSpec& spec);
+  [[nodiscard]] std::vector<ProcessorId> propose(const sched::TaskSpec& spec);
+  [[nodiscard]] static std::vector<ProcessorId> primaries(
+      const sched::TaskSpec& spec);
+
+  /// Run Equation (1) for `spec` placed on `placement`.
+  [[nodiscard]] sched::AdmissionDecision test(
+      const sched::TaskSpec& spec, const std::vector<ProcessorId>& placement);
+
+  /// LB per Job under AC per Task: try to move the standing reservation.
+  void maybe_move_reservation(const sched::TaskSpec& spec);
+
+  void accept(const sched::TaskSpec& spec, const events::TaskArrivePayload& a,
+              std::vector<ProcessorId> placement, bool task_admitted);
+  void reject(const events::TaskArrivePayload& a);
+
+  /// DS-mode aperiodic arrival handling (delay-bound admission + backlog).
+  void handle_ds_aperiodic(const sched::TaskSpec& spec,
+                           const events::TaskArrivePayload& a);
+
+  const sched::TaskSet& tasks_;
+  MetricsCollector* metrics_;
+  AcStrategy ac_ = AcStrategy::kPerTask;
+  LbStrategy lb_ = LbStrategy::kNone;
+  AperiodicAnalysis analysis_ = AperiodicAnalysis::kAub;
+  LocationService* location_ = nullptr;
+
+  SchedulingState state_;
+  /// Frozen plans (LB per Task, periodic tasks), set at first arrival.
+  std::map<TaskId, std::vector<ProcessorId>> plans_;
+  /// Periodic tasks rejected at first arrival under AC per Task.
+  std::set<TaskId> rejected_tasks_;
+  Counters counters_;
+
+  // DS mode only.
+  std::optional<sched::DsAdmission> ds_;
+  /// Per-stage backlog handles of DS-admitted jobs.
+  std::map<JobId, std::vector<sched::ContributionId>> ds_jobs_;
+};
+
+}  // namespace rtcm::core

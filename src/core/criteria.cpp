@@ -1,0 +1,77 @@
+#include "core/criteria.h"
+
+namespace rtcm::core {
+
+const char* to_string(OverheadTolerance t) {
+  switch (t) {
+    case OverheadTolerance::kNone:
+      return "none";
+    case OverheadTolerance::kPerTask:
+      return "per-task";
+    case OverheadTolerance::kPerJob:
+      return "per-job";
+  }
+  return "?";
+}
+
+StrategySelection select_strategies(const CpsCharacteristics& c) {
+  StrategySelection out;
+  StrategyCombination& s = out.strategies;
+
+  // C1 -> admission control granularity.  Testing every job only pays off
+  // if the application tolerates skipped jobs AND accepts per-job overhead.
+  if (c.job_skipping && c.overhead_tolerance == OverheadTolerance::kPerJob) {
+    s.ac = AcStrategy::kPerJob;
+  } else {
+    s.ac = AcStrategy::kPerTask;
+    if (c.job_skipping &&
+        c.overhead_tolerance != OverheadTolerance::kPerJob) {
+      out.notes.push_back(
+          "application tolerates job skipping but the overhead budget rules "
+          "out per-job admission tests; using AC per Task");
+    }
+  }
+
+  // C3 / C2 -> load balancing.
+  if (!c.component_replication) {
+    s.lb = LbStrategy::kNone;
+    if (c.overhead_tolerance != OverheadTolerance::kNone) {
+      out.notes.push_back(
+          "components are not replicated (criterion C3), so load balancing "
+          "is disabled regardless of the overhead budget");
+    }
+  } else if (c.state_persistency) {
+    s.lb = LbStrategy::kPerTask;
+  } else if (c.overhead_tolerance == OverheadTolerance::kPerJob) {
+    s.lb = LbStrategy::kPerJob;
+  } else {
+    s.lb = LbStrategy::kPerTask;
+  }
+
+  // Overhead tolerance -> idle resetting, downgraded if contradictory.
+  switch (c.overhead_tolerance) {
+    case OverheadTolerance::kNone:
+      s.ir = IrStrategy::kNone;
+      break;
+    case OverheadTolerance::kPerTask:
+      s.ir = IrStrategy::kPerTask;
+      break;
+    case OverheadTolerance::kPerJob:
+      s.ir = IrStrategy::kPerJob;
+      break;
+  }
+  if (s.ac == AcStrategy::kPerTask && s.ir == IrStrategy::kPerJob) {
+    s.ir = IrStrategy::kPerTask;
+    out.notes.push_back(
+        "IR downgraded from per Job to per Task: per-job resetting would "
+        "remove periodic contributions that AC per Task must keep reserved");
+  }
+  return out;
+}
+
+StrategyCombination default_strategies() {
+  return StrategyCombination{AcStrategy::kPerTask, IrStrategy::kPerTask,
+                             LbStrategy::kPerTask};
+}
+
+}  // namespace rtcm::core

@@ -1,0 +1,62 @@
+// CPS application characteristics and their mapping to service strategies
+// (paper §4.1, Table 1, and the §6 configuration questions).
+//
+//   C1  Job skipping         — may individual jobs of an admitted task be
+//                              dropped?  (video streaming: yes; critical
+//                              control: no)
+//   C2  State persistency    — must state persist between jobs of one task?
+//                              (integral control: yes; proportional: no)
+//   C3  Component replication— do subtask components have duplicates on
+//                              other processors?  (replication here serves
+//                              load distribution, not fault tolerance)
+//
+// plus the §6 overhead question: how much service overhead is acceptable in
+// exchange for less pessimistic admission control.
+#pragma once
+
+#include <string>
+
+#include "core/strategies.h"
+
+namespace rtcm::core {
+
+/// Answer to "how much extra overhead can you accept, as it potentially
+/// improves schedulability?" — none (N), some per task (PT), some per job
+/// (PJ).
+enum class OverheadTolerance { kNone, kPerTask, kPerJob };
+
+[[nodiscard]] const char* to_string(OverheadTolerance t);
+
+struct CpsCharacteristics {
+  bool job_skipping = false;          // C1
+  bool state_persistency = false;     // C2
+  bool component_replication = false; // C3
+  OverheadTolerance overhead_tolerance = OverheadTolerance::kPerTask;
+};
+
+/// Outcome of the Table 1 mapping: the chosen combination plus any
+/// adjustments the engine had to make to keep the combination valid.
+struct StrategySelection {
+  StrategyCombination strategies;
+  /// Human-readable notes, e.g. "IR downgraded from per Job to per Task
+  /// because AC per Task reserves periodic contributions".
+  std::vector<std::string> notes;
+};
+
+/// Map application characteristics to service strategies:
+///   AC:  C1 = no  -> per Task;  C1 = yes -> per Job if the overhead budget
+///        allows testing every job (PJ), otherwise per Task.
+///   LB:  C3 = no  -> None;  C3 = yes -> per Task if C2 (state must follow
+///        the task), otherwise per Job when the overhead budget allows,
+///        else per Task.
+///   IR:  directly from the overhead tolerance (N / PT / PJ), downgraded to
+///        per Task when AC per Task makes per-Job resetting contradictory.
+/// The result is always a valid combination.
+[[nodiscard]] StrategySelection select_strategies(
+    const CpsCharacteristics& characteristics);
+
+/// The paper's default configuration when developers give no answers:
+/// per-task admission control, idle resetting and load balancing (§6).
+[[nodiscard]] StrategyCombination default_strategies();
+
+}  // namespace rtcm::core

@@ -1,0 +1,74 @@
+#include "core/idle_resetter.h"
+
+#include "ccm/container.h"
+#include "sim/trace.h"
+
+namespace rtcm::core {
+
+using events::EventType;
+using events::IdleResetPayload;
+
+IdleResetter::IdleResetter() : Component(kTypeName) {
+  provide_facet("Complete", static_cast<CompletionSink*>(this));
+  declare_event_source("IdleReset", EventType::kIdleReset);
+}
+
+Status IdleResetter::on_configure(const ccm::AttributeMap& attributes) {
+  const std::string strategy = attributes.get_string_or(kStrategyAttr, "N");
+  if (strategy == "N") {
+    strategy_ = IrStrategy::kNone;
+  } else if (strategy == "PT") {
+    strategy_ = IrStrategy::kPerTask;
+  } else if (strategy == "PJ") {
+    strategy_ = IrStrategy::kPerJob;
+  } else {
+    return Status::error("IR_Strategy must be 'N', 'PT' or 'PJ', got '" +
+                         strategy + "'");
+  }
+  return Status::ok();
+}
+
+Status IdleResetter::on_activate() {
+  context().cpu.set_idle_callback([this] { on_processor_idle(); });
+  return Status::ok();
+}
+
+void IdleResetter::subjob_complete(const events::SubjobRef& ref,
+                                   sched::TaskKind kind,
+                                   Time absolute_deadline) {
+  switch (strategy_) {
+    case IrStrategy::kNone:
+      return;
+    case IrStrategy::kPerTask:
+      // Periodic contributions stay reserved; only aperiodic subjobs can be
+      // reset early.
+      if (kind == sched::TaskKind::kPeriodic) return;
+      break;
+    case IrStrategy::kPerJob:
+      break;
+  }
+  pending_.push_back(Pending{ref, absolute_deadline});
+}
+
+void IdleResetter::on_processor_idle() {
+  if (strategy_ == IrStrategy::kNone) return;
+  const Time now = context().sim.now();
+  context().trace.record({now, sim::TraceKind::kIdle, context().processor,
+                          TaskId(), JobId(), ""});
+
+  // Report only newly completed subjobs whose deadlines have not expired;
+  // everything in `pending_` is either reported now or stale, so the list
+  // drains completely (the paper's "avoid reporting repeatedly" rule).
+  IdleResetPayload payload;
+  payload.processor = context().processor;
+  for (const Pending& p : pending_) {
+    if (p.absolute_deadline > now) payload.completed.push_back(p.ref);
+  }
+  pending_.clear();
+  if (payload.completed.empty()) return;
+
+  ++reports_pushed_;
+  context().federation.push(context().processor, std::move(payload));
+}
+
+}  // namespace rtcm::core

@@ -1,0 +1,94 @@
+#include "core/scheduling_state.h"
+
+#include <cassert>
+
+namespace rtcm::core {
+
+std::vector<sched::TaskFootprint> SchedulingState::current_footprints() const {
+  std::vector<sched::TaskFootprint> out;
+  out.reserve(jobs_.size() + reservations_.size());
+  for (const auto& [job, admission] : jobs_) {
+    out.push_back({admission.task, admission.placement});
+  }
+  for (const auto& [task, reservation] : reservations_) {
+    out.push_back({task, reservation.placement});
+  }
+  return out;
+}
+
+void SchedulingState::admit_job(const sched::TaskSpec& spec, JobId job,
+                                std::vector<ProcessorId> placement,
+                                Time absolute_deadline) {
+  assert(placement.size() == spec.stage_count());
+  assert(jobs_.count(job) == 0 && "job admitted twice");
+  JobAdmission admission;
+  admission.task = spec.id;
+  admission.job = job;
+  admission.absolute_deadline = absolute_deadline;
+  admission.contributions.reserve(placement.size());
+  for (std::size_t j = 0; j < placement.size(); ++j) {
+    admission.contributions.push_back(
+        ledger_.add(placement[j], spec.subtask_utilization(j)));
+  }
+  admission.placement = std::move(placement);
+  jobs_.emplace(job, std::move(admission));
+}
+
+const SchedulingState::JobAdmission* SchedulingState::job(JobId job) const {
+  const auto it = jobs_.find(job);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void SchedulingState::expire_job(JobId job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  for (const sched::ContributionId c : it->second.contributions) {
+    (void)ledger_.remove(c);  // stages reset earlier are already gone
+  }
+  jobs_.erase(it);
+}
+
+bool SchedulingState::reset_subjob(JobId job, std::size_t stage) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return false;
+  auto& contributions = it->second.contributions;
+  if (stage >= contributions.size()) return false;
+  const bool removed = ledger_.remove(contributions[stage]);
+  contributions[stage] = sched::ContributionId();
+  return removed;
+}
+
+void SchedulingState::reserve_task(const sched::TaskSpec& spec,
+                                   std::vector<ProcessorId> placement) {
+  assert(placement.size() == spec.stage_count());
+  assert(reservations_.count(spec.id) == 0 && "task reserved twice");
+  TaskReservation reservation;
+  reservation.task = spec.id;
+  reservation.contributions.reserve(placement.size());
+  for (std::size_t j = 0; j < placement.size(); ++j) {
+    reservation.contributions.push_back(
+        ledger_.add(placement[j], spec.subtask_utilization(j)));
+  }
+  reservation.placement = std::move(placement);
+  reservations_.emplace(spec.id, std::move(reservation));
+}
+
+const SchedulingState::TaskReservation* SchedulingState::reservation(
+    TaskId task) const {
+  const auto it = reservations_.find(task);
+  return it == reservations_.end() ? nullptr : &it->second;
+}
+
+std::vector<ProcessorId> SchedulingState::release_reservation(
+    const sched::TaskSpec& spec) {
+  const auto it = reservations_.find(spec.id);
+  assert(it != reservations_.end() && "releasing a reservation that is not held");
+  for (const sched::ContributionId c : it->second.contributions) {
+    (void)ledger_.remove(c);
+  }
+  std::vector<ProcessorId> placement = std::move(it->second.placement);
+  reservations_.erase(it);
+  return placement;
+}
+
+}  // namespace rtcm::core

@@ -1,0 +1,101 @@
+// The admission controller's book of record.
+//
+// Tracks, on top of the synthetic-utilization ledger:
+//   - per-job admissions: contributions added at release, removed at the
+//     job's absolute deadline or earlier via idle resetting;
+//   - per-task reservations (AC per Task): contributions held for the
+//     task's whole lifetime, immune to idle resetting;
+//   - the footprints of everything currently admitted, which the AUB
+//     admission test must re-check when a new candidate arrives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sched/aub.h"
+#include "sched/task.h"
+#include "sched/utilization_ledger.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace rtcm::core {
+
+class SchedulingState {
+ public:
+  struct JobAdmission {
+    TaskId task;
+    JobId job;
+    std::vector<ProcessorId> placement;
+    Time absolute_deadline;
+    /// One handle per stage (invalid after that stage was reset).
+    std::vector<sched::ContributionId> contributions;
+  };
+
+  struct TaskReservation {
+    TaskId task;
+    std::vector<ProcessorId> placement;
+    std::vector<sched::ContributionId> contributions;
+  };
+
+  [[nodiscard]] const sched::UtilizationLedger& ledger() const {
+    return ledger_;
+  }
+
+  /// Footprints of every admitted-and-unexpired job plus every reservation,
+  /// as Equation (1) must keep holding for all of them.
+  [[nodiscard]] std::vector<sched::TaskFootprint> current_footprints() const;
+
+  // --- Per-job admissions --------------------------------------------------
+
+  /// Add stage contributions for an admitted job.
+  void admit_job(const sched::TaskSpec& spec, JobId job,
+                 std::vector<ProcessorId> placement, Time absolute_deadline);
+
+  [[nodiscard]] bool has_job(JobId job) const { return jobs_.count(job) > 0; }
+  [[nodiscard]] const JobAdmission* job(JobId job) const;
+  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+
+  /// Remove all remaining contributions of a job (deadline expiry).  No-op
+  /// for unknown jobs, so expiry timers and resets compose safely.
+  void expire_job(JobId job);
+
+  /// Idle resetting: remove the contribution of one completed subjob.
+  /// Returns true if a live contribution was removed.  Reservations are
+  /// never affected (there is no per-job entry for them).
+  bool reset_subjob(JobId job, std::size_t stage);
+
+  // --- Background load -------------------------------------------------------
+
+  /// Permanently reserve utilization on one processor without adding a task
+  /// footprint (used for deferrable-server interference: the servers load
+  /// the processors but are not themselves subject to Equation (1)).
+  void add_background(ProcessorId proc, double utilization) {
+    (void)ledger_.add(proc, utilization);
+  }
+
+  // --- Per-task reservations (AC per Task) ---------------------------------
+
+  void reserve_task(const sched::TaskSpec& spec,
+                    std::vector<ProcessorId> placement);
+
+  [[nodiscard]] bool is_reserved(TaskId task) const {
+    return reservations_.count(task) > 0;
+  }
+  [[nodiscard]] const TaskReservation* reservation(TaskId task) const;
+  [[nodiscard]] std::size_t reservation_count() const {
+    return reservations_.size();
+  }
+
+  /// Remove a reservation and return its placement (for LB-per-Job plan
+  /// moves: release, re-test with the new placement, re-reserve whichever
+  /// placement won).
+  std::vector<ProcessorId> release_reservation(const sched::TaskSpec& spec);
+
+ private:
+  sched::UtilizationLedger ledger_;
+  std::map<JobId, JobAdmission> jobs_;
+  std::map<TaskId, TaskReservation> reservations_;
+};
+
+}  // namespace rtcm::core

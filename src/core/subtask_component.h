@@ -1,0 +1,95 @@
+// First/Intermediate (F/I) and Last Subtask components (paper §5).
+//
+// Each instance executes one stage of one end-to-end task on one processor,
+// at a fixed EDMS priority, inside a prioritized dispatching "thread" (a
+// work item on the simulated preemptive processor).  The F/I variant has an
+// extra "Trigger" event-source port that releases the next stage; the Last
+// variant instead reports end-to-end completion.  Instances exist on the
+// stage's primary processor and on every replica processor (criterion C3) —
+// the Trigger payload's placement decides which instance actually runs a
+// given job.
+//
+// Attributes: "TaskID", "Stage", "ExecutionTime" (microseconds), "Priority"
+// (EDMS level, smaller = more urgent), and "IR_Mode" ("N" | "PT" | "PJ") —
+// whether subjob completions are reported to the local Idle Resetter (under
+// "PT", periodic subjob completions are not reported; §5).
+#pragma once
+
+#include <cstdint>
+
+#include "ccm/component.h"
+#include "core/protocols.h"
+#include "core/strategies.h"
+#include "sched/task.h"
+#include "util/priority.h"
+
+namespace rtcm::core {
+
+class SubtaskComponentBase : public ccm::Component {
+ public:
+  static constexpr const char* kTaskAttr = "TaskID";
+  static constexpr const char* kStageAttr = "Stage";
+  static constexpr const char* kExecutionAttr = "ExecutionTime";
+  static constexpr const char* kPriorityAttr = "Priority";
+  static constexpr const char* kIrModeAttr = "IR_Mode";
+
+  [[nodiscard]] TaskId task() const { return task_; }
+  [[nodiscard]] std::size_t stage() const { return stage_; }
+  [[nodiscard]] Priority priority() const { return priority_; }
+  [[nodiscard]] Duration execution_time() const { return execution_; }
+  [[nodiscard]] std::uint64_t subjobs_executed() const {
+    return subjobs_executed_;
+  }
+
+ protected:
+  SubtaskComponentBase(std::string type_name, const sched::TaskSet& tasks);
+
+  Status on_configure(const ccm::AttributeMap& attributes) override;
+  Status on_activate() override;
+
+  /// Stage-specific follow-up after the subjob's execution completes.
+  virtual void on_subjob_finished(const events::TriggerPayload& payload) = 0;
+
+  const sched::TaskSet& tasks_;
+
+ private:
+  void handle_trigger(const events::TriggerPayload& payload);
+  void finish(const events::TriggerPayload& payload);
+
+  TaskId task_;
+  std::size_t stage_ = 0;
+  Duration execution_ = Duration::zero();
+  Priority priority_;
+  IrStrategy ir_mode_ = IrStrategy::kNone;
+  CompletionSink* completion_sink_ = nullptr;
+  std::uint64_t subjobs_executed_ = 0;
+};
+
+/// Executes a non-final stage; publishes "Trigger" for the next stage.
+class FirstIntermediateSubtask final : public SubtaskComponentBase {
+ public:
+  static constexpr const char* kTypeName = "rtcm.SubtaskFI";
+  explicit FirstIntermediateSubtask(const sched::TaskSet& tasks);
+
+ protected:
+  void on_subjob_finished(const events::TriggerPayload& payload) override;
+};
+
+/// Executes the final stage; reports end-to-end completion.
+class LastSubtask final : public SubtaskComponentBase {
+ public:
+  static constexpr const char* kTypeName = "rtcm.SubtaskLast";
+  explicit LastSubtask(const sched::TaskSet& tasks);
+
+  void set_completion_listener(JobCompletionListener* listener) {
+    listener_ = listener;
+  }
+
+ protected:
+  void on_subjob_finished(const events::TriggerPayload& payload) override;
+
+ private:
+  JobCompletionListener* listener_ = nullptr;
+};
+
+}  // namespace rtcm::core

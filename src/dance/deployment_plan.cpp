@@ -1,0 +1,60 @@
+#include "dance/deployment_plan.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rtcm::dance {
+
+const InstanceDeployment* DeploymentPlan::find_instance(
+    const std::string& id) const {
+  for (const InstanceDeployment& inst : instances) {
+    if (inst.id == id) return &inst;
+  }
+  return nullptr;
+}
+
+Status DeploymentPlan::validate() const {
+  if (instances.empty()) {
+    return Status::error("deployment plan '" + label + "' has no instances");
+  }
+  std::set<std::string> ids;
+  for (const InstanceDeployment& inst : instances) {
+    if (inst.id.empty()) {
+      return Status::error("plan '" + label + "' has an instance with no id");
+    }
+    if (inst.type.empty()) {
+      return Status::error("instance '" + inst.id + "' has no type");
+    }
+    if (!inst.node.valid()) {
+      return Status::error("instance '" + inst.id + "' has no valid node");
+    }
+    if (!ids.insert(inst.id).second) {
+      return Status::error("duplicate instance id '" + inst.id + "'");
+    }
+  }
+  for (const ConnectionDeployment& conn : connections) {
+    if (ids.count(conn.source_instance) == 0) {
+      return Status::error("connection '" + conn.name +
+                           "' references unknown source instance '" +
+                           conn.source_instance + "'");
+    }
+    if (ids.count(conn.target_instance) == 0) {
+      return Status::error("connection '" + conn.name +
+                           "' references unknown target instance '" +
+                           conn.target_instance + "'");
+    }
+    if (conn.receptacle.empty() || conn.facet.empty()) {
+      return Status::error("connection '" + conn.name +
+                           "' must name a receptacle and a facet");
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<ProcessorId> DeploymentPlan::nodes() const {
+  std::set<ProcessorId> nodes;
+  for (const InstanceDeployment& inst : instances) nodes.insert(inst.node);
+  return {nodes.begin(), nodes.end()};
+}
+
+}  // namespace rtcm::dance

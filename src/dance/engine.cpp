@@ -1,0 +1,93 @@
+#include "dance/engine.h"
+
+#include <map>
+
+#include "dance/plan_xml.h"
+
+namespace rtcm::dance {
+
+Status NodeApplication::install(
+    const InstanceDeployment& instance,
+    std::map<std::string, ccm::Component*>& installed) {
+  auto created = factory_.create(instance.type, instance.node);
+  if (!created.is_ok()) {
+    return Status::error("instance '" + instance.id + "': " +
+                         created.message());
+  }
+  ccm::Component* raw = created.value().get();
+  // set_configuration: apply the plan's configProperties before install so
+  // a failing property never leaves a half-deployed instance behind.
+  if (Status s = raw->configure(instance.properties); !s.is_ok()) {
+    return Status::error("instance '" + instance.id +
+                         "' configuration failed: " + s.message());
+  }
+  if (Status s = container_.install(instance.id, std::move(created).value());
+      !s.is_ok()) {
+    return s;
+  }
+  installed.emplace(instance.id, raw);
+  return Status::ok();
+}
+
+Result<ExecutionManager::LaunchReport> ExecutionManager::launch(
+    const DeploymentPlan& plan, const NodeResolver& resolver,
+    const ccm::ComponentFactory& factory) const {
+  using R = Result<LaunchReport>;
+  if (Status s = plan.validate(); !s.is_ok()) return R::error(s.message());
+
+  // Slice the plan per node (ExecutionManager -> NodeApplicationManager).
+  std::map<ProcessorId, NodeImplementationInfo> per_node;
+  for (const InstanceDeployment& inst : plan.instances) {
+    auto& info = per_node[inst.node];
+    info.node = inst.node;
+    info.instances.push_back(&inst);
+  }
+
+  LaunchReport report;
+  std::map<std::string, ccm::Component*> installed;
+  for (auto& [node, info] : per_node) {
+    ccm::Container* container = resolver(node);
+    if (container == nullptr) {
+      return R::error("no container available for node " + node.to_string());
+    }
+    NodeApplication app(*container, factory);
+    for (const InstanceDeployment* inst : info.instances) {
+      if (Status s = app.install(*inst, installed); !s.is_ok()) {
+        return R::error(s.message());
+      }
+      ++report.instances_installed;
+    }
+    report.nodes.push_back(node);
+  }
+
+  // Wire connections: resolve the facet on the target instance, hand it to
+  // the source instance's receptacle.
+  for (const ConnectionDeployment& conn : plan.connections) {
+    ccm::Component* target = installed.at(conn.target_instance);
+    ccm::Component* source = installed.at(conn.source_instance);
+    std::any facet = target->facet(conn.facet);
+    if (!facet.has_value()) {
+      return R::error("connection '" + conn.name + "': instance '" +
+                      conn.target_instance + "' has no facet '" + conn.facet +
+                      "'");
+    }
+    if (Status s = source->connect_receptacle(conn.receptacle, std::move(facet));
+        !s.is_ok()) {
+      return R::error("connection '" + conn.name + "': " + s.message());
+    }
+    ++report.connections_wired;
+  }
+  return report;
+}
+
+Result<ExecutionManager::LaunchReport> PlanLauncher::launch_from_xml(
+    const std::string& xml, const NodeResolver& resolver,
+    const ccm::ComponentFactory& factory) const {
+  auto plan = plan_from_xml(xml);
+  if (!plan.is_ok()) {
+    return Result<ExecutionManager::LaunchReport>::error(plan.message());
+  }
+  return ExecutionManager().launch(plan.value(), resolver, factory);
+}
+
+}  // namespace rtcm::dance

@@ -1,0 +1,73 @@
+// Deployment & Configuration engine (paper §6, Figure 4).
+//
+// Mirrors the DAnCE pipeline:
+//   PlanLauncher        — parses the XML deployment plan,
+//   ExecutionManager    — walks the plan and drives per-node deployment,
+//   NodeApplicationManager / NodeApplication — create each component via the
+//     component factory, apply configProperties through the Configurator
+//     (set_configuration) path, install into the node's container,
+// then connections are wired receptacle-to-facet, and the caller activates.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ccm/container.h"
+#include "ccm/factory.h"
+#include "dance/deployment_plan.h"
+
+namespace rtcm::dance {
+
+/// Resolves a plan node to the container hosting that node's components.
+/// Returns null for unknown nodes (launch fails with a diagnostic).
+using NodeResolver = std::function<ccm::Container*(ProcessorId)>;
+
+/// Per-node slice of the plan (the NodeImplementationInfo handed from the
+/// ExecutionManager to a NodeApplicationManager).
+struct NodeImplementationInfo {
+  ProcessorId node;
+  std::vector<const InstanceDeployment*> instances;
+};
+
+/// Installs one node's component instances into its container.
+class NodeApplication {
+ public:
+  NodeApplication(ccm::Container& container, const ccm::ComponentFactory& factory)
+      : container_(container), factory_(factory) {}
+
+  /// create -> set_configuration -> install.  On success the installed
+  /// component is registered in `installed`.
+  Status install(const InstanceDeployment& instance,
+                 std::map<std::string, ccm::Component*>& installed);
+
+ private:
+  ccm::Container& container_;
+  const ccm::ComponentFactory& factory_;
+};
+
+/// Drives the whole plan: validation, per-node installation, connections.
+/// Activation stays with the caller (the runtime activates the task manager
+/// node first).
+class ExecutionManager {
+ public:
+  struct LaunchReport {
+    std::size_t instances_installed = 0;
+    std::size_t connections_wired = 0;
+    std::vector<ProcessorId> nodes;
+  };
+
+  [[nodiscard]] Result<LaunchReport> launch(
+      const DeploymentPlan& plan, const NodeResolver& resolver,
+      const ccm::ComponentFactory& factory) const;
+};
+
+/// PlanLauncher: parse descriptor text and launch in one step.
+class PlanLauncher {
+ public:
+  [[nodiscard]] Result<ExecutionManager::LaunchReport> launch_from_xml(
+      const std::string& xml, const NodeResolver& resolver,
+      const ccm::ComponentFactory& factory) const;
+};
+
+}  // namespace rtcm::dance

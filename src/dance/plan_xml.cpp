@@ -1,0 +1,218 @@
+#include "dance/plan_xml.h"
+
+#include "util/strings.h"
+
+namespace rtcm::dance {
+
+namespace {
+
+XmlNode make_text(const std::string& name, const std::string& text) {
+  XmlNode node;
+  node.name = name;
+  node.text = text;
+  return node;
+}
+
+XmlNode property_to_xml(const std::string& name,
+                        const ccm::AttributeValue& value) {
+  XmlNode prop;
+  prop.name = "configProperty";
+  prop.children.push_back(make_text("name", name));
+
+  XmlNode outer_value;
+  outer_value.name = "value";
+  XmlNode type;
+  type.name = "type";
+  XmlNode inner_value;
+  inner_value.name = "value";
+
+  if (const auto* b = std::get_if<bool>(&value)) {
+    type.children.push_back(make_text("kind", "tk_boolean"));
+    inner_value.children.push_back(
+        make_text("boolean", *b ? "true" : "false"));
+  } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    type.children.push_back(make_text("kind", "tk_long"));
+    inner_value.children.push_back(make_text("long", std::to_string(*i)));
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    type.children.push_back(make_text("kind", "tk_double"));
+    inner_value.children.push_back(make_text("double", strfmt("%.17g", *d)));
+  } else {
+    type.children.push_back(make_text("kind", "tk_string"));
+    inner_value.children.push_back(
+        make_text("string", std::get<std::string>(value)));
+  }
+  outer_value.children.push_back(std::move(type));
+  outer_value.children.push_back(std::move(inner_value));
+  prop.children.push_back(std::move(outer_value));
+  return prop;
+}
+
+Result<std::pair<std::string, ccm::AttributeValue>> property_from_xml(
+    const XmlNode& prop) {
+  using R = Result<std::pair<std::string, ccm::AttributeValue>>;
+  const std::string name = prop.child_text("name");
+  if (name.empty()) return R::error("configProperty without a <name>");
+  const XmlNode* outer = prop.child("value");
+  if (outer == nullptr) {
+    return R::error("configProperty '" + name + "' without a <value>");
+  }
+  const XmlNode* type = outer->child("type");
+  const XmlNode* inner = outer->child("value");
+  if (type == nullptr || inner == nullptr) {
+    return R::error("configProperty '" + name +
+                    "' must contain <type> and a nested <value>");
+  }
+  const std::string kind = type->child_text("kind");
+  if (kind == "tk_string") {
+    return std::pair{name, ccm::AttributeValue(inner->child_text("string"))};
+  }
+  if (kind == "tk_long") {
+    std::int64_t v = 0;
+    if (!parse_int64(inner->child_text("long"), v)) {
+      return R::error("configProperty '" + name + "' has a malformed long");
+    }
+    return std::pair{name, ccm::AttributeValue(v)};
+  }
+  if (kind == "tk_double") {
+    double v = 0;
+    if (!parse_double(inner->child_text("double"), v)) {
+      return R::error("configProperty '" + name + "' has a malformed double");
+    }
+    return std::pair{name, ccm::AttributeValue(v)};
+  }
+  if (kind == "tk_boolean") {
+    bool v = false;
+    if (!parse_bool(inner->child_text("boolean"), v)) {
+      return R::error("configProperty '" + name + "' has a malformed boolean");
+    }
+    return std::pair{name, ccm::AttributeValue(v)};
+  }
+  return R::error("configProperty '" + name + "' has unsupported kind '" +
+                  kind + "'");
+}
+
+}  // namespace
+
+XmlNode plan_to_xml_node(const DeploymentPlan& plan) {
+  XmlNode root;
+  root.name = "Deployment:DeploymentPlan";
+  if (!plan.label.empty()) root.attributes["label"] = plan.label;
+
+  for (const InstanceDeployment& inst : plan.instances) {
+    XmlNode node;
+    node.name = "instance";
+    node.attributes["id"] = inst.id;
+    node.children.push_back(
+        make_text("node", std::to_string(inst.node.value())));
+    node.children.push_back(make_text("implementation", inst.type));
+    for (const std::string& prop_name : inst.properties.names()) {
+      // Round-trip through get_string never fails for set values; use the
+      // typed accessors to preserve the kind.
+      auto as_int = inst.properties.get_int(prop_name);
+      auto as_bool = inst.properties.get_bool(prop_name);
+      auto as_string = inst.properties.get_string(prop_name);
+      auto as_double = inst.properties.get_double(prop_name);
+      // Emit with the original stored type: try exact matches in order.
+      // AttributeMap stores variants, so pick based on which getter is
+      // lossless; strings win last.
+      (void)as_double;
+      if (as_bool.is_ok() && (as_string.value() == "true" ||
+                              as_string.value() == "false")) {
+        node.children.push_back(
+            property_to_xml(prop_name, ccm::AttributeValue(as_bool.value())));
+      } else if (as_int.is_ok()) {
+        node.children.push_back(
+            property_to_xml(prop_name, ccm::AttributeValue(as_int.value())));
+      } else {
+        node.children.push_back(property_to_xml(
+            prop_name, ccm::AttributeValue(as_string.value())));
+      }
+    }
+    root.children.push_back(std::move(node));
+  }
+
+  for (const ConnectionDeployment& conn : plan.connections) {
+    XmlNode node;
+    node.name = "connection";
+    node.children.push_back(make_text("name", conn.name));
+    XmlNode facet;
+    facet.name = "facetEndpoint";
+    facet.attributes["instance"] = conn.target_instance;
+    facet.attributes["port"] = conn.facet;
+    XmlNode receptacle;
+    receptacle.name = "receptacleEndpoint";
+    receptacle.attributes["instance"] = conn.source_instance;
+    receptacle.attributes["port"] = conn.receptacle;
+    node.children.push_back(std::move(facet));
+    node.children.push_back(std::move(receptacle));
+    root.children.push_back(std::move(node));
+  }
+  return root;
+}
+
+std::string plan_to_xml(const DeploymentPlan& plan) {
+  return plan_to_xml_node(plan).serialize();
+}
+
+Result<DeploymentPlan> plan_from_xml(const std::string& xml) {
+  auto parsed = parse_xml(xml);
+  if (!parsed.is_ok()) return Result<DeploymentPlan>::error(parsed.message());
+  const XmlNode root = std::move(parsed).value();
+  if (root.name != "Deployment:DeploymentPlan") {
+    return Result<DeploymentPlan>::error(
+        "root element must be Deployment:DeploymentPlan, got '" + root.name +
+        "'");
+  }
+
+  DeploymentPlan plan;
+  plan.label = root.attribute("label");
+
+  for (const XmlNode* node : root.children_named("instance")) {
+    InstanceDeployment inst;
+    inst.id = node->attribute("id");
+    if (inst.id.empty()) {
+      return Result<DeploymentPlan>::error("<instance> without an id");
+    }
+    std::int64_t node_id = 0;
+    if (!parse_int64(node->child_text("node"), node_id)) {
+      return Result<DeploymentPlan>::error("instance '" + inst.id +
+                                           "' has a malformed <node>");
+    }
+    inst.node = ProcessorId(static_cast<std::int32_t>(node_id));
+    inst.type = node->child_text("implementation");
+    for (const XmlNode* prop : node->children_named("configProperty")) {
+      auto parsed_prop = property_from_xml(*prop);
+      if (!parsed_prop.is_ok()) {
+        return Result<DeploymentPlan>::error("instance '" + inst.id + "': " +
+                                             parsed_prop.message());
+      }
+      auto [name, value] = std::move(parsed_prop).value();
+      inst.properties.set(name, std::move(value));
+    }
+    plan.instances.push_back(std::move(inst));
+  }
+
+  for (const XmlNode* node : root.children_named("connection")) {
+    ConnectionDeployment conn;
+    conn.name = node->child_text("name");
+    const XmlNode* facet = node->child("facetEndpoint");
+    const XmlNode* receptacle = node->child("receptacleEndpoint");
+    if (facet == nullptr || receptacle == nullptr) {
+      return Result<DeploymentPlan>::error(
+          "connection '" + conn.name +
+          "' must have facetEndpoint and receptacleEndpoint");
+    }
+    conn.target_instance = facet->attribute("instance");
+    conn.facet = facet->attribute("port");
+    conn.source_instance = receptacle->attribute("instance");
+    conn.receptacle = receptacle->attribute("port");
+    plan.connections.push_back(std::move(conn));
+  }
+
+  if (Status s = plan.validate(); !s.is_ok()) {
+    return Result<DeploymentPlan>::error(s.message());
+  }
+  return plan;
+}
+
+}  // namespace rtcm::dance

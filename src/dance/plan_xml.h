@@ -1,0 +1,43 @@
+// Deployment plan <-> XML descriptor.
+//
+// The descriptor follows the shape the paper shows in Figure 4:
+//
+//   <Deployment:DeploymentPlan label="...">
+//     <instance id="Central-AC">
+//       <node>5</node>
+//       <implementation>rtcm.AdmissionControl</implementation>
+//       <configProperty>
+//         <name>LB_Strategy</name>
+//         <value>
+//           <type><kind>tk_string</kind></type>
+//           <value><string>PT</string></value>
+//         </value>
+//       </configProperty>
+//     </instance>
+//     <connection>
+//       <name>ac-location</name>
+//       <facetEndpoint instance="Central-LB" port="Location"/>
+//       <receptacleEndpoint instance="Central-AC" port="Location"/>
+//     </connection>
+//   </Deployment:DeploymentPlan>
+//
+// Property kinds: tk_string, tk_long, tk_double, tk_boolean.
+#pragma once
+
+#include "ccm/attributes.h"
+#include "dance/deployment_plan.h"
+#include "dance/xml.h"
+
+namespace rtcm::dance {
+
+/// Serialize a plan to its XML descriptor text.
+[[nodiscard]] std::string plan_to_xml(const DeploymentPlan& plan);
+
+/// Build the XML node tree (for callers that post-process the document).
+[[nodiscard]] XmlNode plan_to_xml_node(const DeploymentPlan& plan);
+
+/// Parse a descriptor.  Structural errors (missing ids, unknown property
+/// kinds, malformed XML) are reported with context.
+[[nodiscard]] Result<DeploymentPlan> plan_from_xml(const std::string& xml);
+
+}  // namespace rtcm::dance

@@ -1,0 +1,277 @@
+#include "dance/xml.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace rtcm::dance {
+
+const XmlNode* XmlNode::child(const std::string& name_) const {
+  for (const XmlNode& c : children) {
+    if (c.name == name_) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(
+    const std::string& name_) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.name == name_) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string XmlNode::attribute(const std::string& name_) const {
+  const auto it = attributes.find(name_);
+  return it == attributes.end() ? std::string{} : it->second;
+}
+
+std::string XmlNode::child_text(const std::string& name_) const {
+  const XmlNode* c = child(name_);
+  return c == nullptr ? std::string{} : c->text;
+}
+
+std::string xml_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void serialize_node(const XmlNode& node, std::string& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  out += indent + "<" + node.name;
+  for (const auto& [k, v] : node.attributes) {
+    out += " " + k + "=\"" + xml_escape(v) + "\"";
+  }
+  if (node.children.empty() && node.text.empty()) {
+    out += "/>\n";
+    return;
+  }
+  out += ">";
+  if (node.children.empty()) {
+    out += xml_escape(node.text) + "</" + node.name + ">\n";
+    return;
+  }
+  out += "\n";
+  if (!node.text.empty()) {
+    out += indent + "  " + xml_escape(node.text) + "\n";
+  }
+  for (const XmlNode& c : node.children) {
+    serialize_node(c, out, depth + 1);
+  }
+  out += indent + "</" + node.name + ">\n";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : in_(input) {}
+
+  Result<XmlNode> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.is_ok()) return root;
+    skip_misc();
+    if (pos_ != in_.size()) {
+      return error("trailing content after the root element");
+    }
+    return root;
+  }
+
+ private:
+  Result<XmlNode> error(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++line;
+    }
+    return Result<XmlNode>::error("XML parse error at line " +
+                                  std::to_string(line) + ": " + message);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek() const { return in_[pos_]; }
+  [[nodiscard]] bool lookahead(const char* s) const {
+    return in_.compare(pos_, std::string::traits_type::length(s), s) == 0;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  bool skip_comment() {
+    if (!lookahead("<!--")) return false;
+    const std::size_t end = in_.find("-->", pos_ + 4);
+    pos_ = (end == std::string::npos) ? in_.size() : end + 3;
+    return true;
+  }
+
+  bool skip_declaration() {
+    if (!lookahead("<?")) return false;
+    const std::size_t end = in_.find("?>", pos_ + 2);
+    pos_ = (end == std::string::npos) ? in_.size() : end + 2;
+    return true;
+  }
+
+  void skip_prolog() {
+    for (;;) {
+      skip_whitespace();
+      if (skip_declaration() || skip_comment()) continue;
+      return;
+    }
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (skip_comment()) continue;
+      return;
+    }
+  }
+
+  static bool name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '.';
+  }
+
+  std::string parse_name() {
+    std::size_t start = pos_;
+    while (!eof() && name_char(peek())) ++pos_;
+    return in_.substr(start, pos_ - start);
+  }
+
+  static std::string unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size();) {
+      if (s[i] != '&') {
+        out += s[i++];
+        continue;
+      }
+      const std::size_t semi = s.find(';', i);
+      if (semi == std::string_view::npos) {
+        out += s[i++];
+        continue;
+      }
+      const std::string_view entity = s.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else {
+        out += s.substr(i, semi - i + 1);
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<XmlNode> parse_element() {
+    skip_misc();
+    if (eof() || peek() != '<') return error("expected an element");
+    ++pos_;  // consume '<'
+    XmlNode node;
+    node.name = parse_name();
+    if (node.name.empty()) return error("element name missing");
+
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (eof()) return error("unterminated start tag <" + node.name);
+      if (peek() == '/' || peek() == '>') break;
+      const std::string attr = parse_name();
+      if (attr.empty()) return error("malformed attribute in <" + node.name);
+      skip_whitespace();
+      if (eof() || peek() != '=') return error("attribute '" + attr + "' missing '='");
+      ++pos_;
+      skip_whitespace();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return error("attribute '" + attr + "' value must be quoted");
+      }
+      const char quote = peek();
+      ++pos_;
+      const std::size_t end = in_.find(quote, pos_);
+      if (end == std::string::npos) {
+        return error("unterminated value for attribute '" + attr + "'");
+      }
+      node.attributes[attr] = unescape(in_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+
+    if (peek() == '/') {
+      ++pos_;
+      if (eof() || peek() != '>') return error("malformed empty-element tag");
+      ++pos_;
+      return node;
+    }
+    ++pos_;  // consume '>'
+
+    // Content: text, children, comments.
+    std::string text;
+    for (;;) {
+      if (eof()) return error("unterminated element <" + node.name + ">");
+      if (skip_comment()) continue;
+      if (lookahead("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node.name) {
+          return error("mismatched closing tag </" + closing +
+                       "> for <" + node.name + ">");
+        }
+        skip_whitespace();
+        if (eof() || peek() != '>') return error("malformed closing tag");
+        ++pos_;
+        node.text = trim(unescape(text));
+        return node;
+      }
+      if (peek() == '<') {
+        auto child = parse_element();
+        if (!child.is_ok()) return child;
+        node.children.push_back(std::move(child).value());
+        continue;
+      }
+      text += peek();
+      ++pos_;
+    }
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string XmlNode::serialize() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serialize_node(*this, out, 0);
+  return out;
+}
+
+Result<XmlNode> parse_xml(const std::string& input) {
+  return Parser(input).parse();
+}
+
+}  // namespace rtcm::dance

@@ -1,0 +1,44 @@
+// Minimal XML reader/writer for deployment descriptors.
+//
+// Supports the subset DAnCE-style descriptors need: nested elements,
+// attributes, text content, comments, XML declarations and the five
+// predefined entities.  No namespaces-awareness (prefixes are kept as part
+// of the element name), no DTD, no CDATA.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace rtcm::dance {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlNode> children;
+  /// Concatenated character data directly inside this element (trimmed).
+  std::string text;
+
+  /// First child with the given element name, or null.
+  [[nodiscard]] const XmlNode* child(const std::string& name) const;
+  /// All children with the given element name.
+  [[nodiscard]] std::vector<const XmlNode*> children_named(
+      const std::string& name) const;
+  /// Attribute value or empty string.
+  [[nodiscard]] std::string attribute(const std::string& name) const;
+  /// Text of the named child, or empty string.
+  [[nodiscard]] std::string child_text(const std::string& name) const;
+
+  /// Serialize with 2-space indentation and an XML declaration.
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Parse a document; returns the root element.
+[[nodiscard]] Result<XmlNode> parse_xml(const std::string& input);
+
+/// Escape the five predefined entities in text/attribute content.
+[[nodiscard]] std::string xml_escape(const std::string& raw);
+
+}  // namespace rtcm::dance

@@ -1,0 +1,45 @@
+#include "events/event.h"
+
+namespace rtcm::events {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kTaskArrive:
+      return "TaskArrive";
+    case EventType::kAccept:
+      return "Accept";
+    case EventType::kReject:
+      return "Reject";
+    case EventType::kTrigger:
+      return "Trigger";
+    case EventType::kIdleReset:
+      return "IdleReset";
+  }
+  return "?";
+}
+
+std::string Event::to_string() const {
+  std::string out = events::to_string(type());
+  out += " from " + source.to_string() + " at " + published.to_string();
+  std::visit(
+      [&out](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, TaskArrivePayload>) {
+          out += " " + p.task.to_string() + "/" + p.job.to_string() + " @" +
+                 p.arrival_processor.to_string();
+        } else if constexpr (std::is_same_v<T, AcceptPayload> ||
+                             std::is_same_v<T, RejectPayload>) {
+          out += " " + p.task.to_string() + "/" + p.job.to_string();
+        } else if constexpr (std::is_same_v<T, TriggerPayload>) {
+          out += " " + p.task.to_string() + "/" + p.job.to_string() +
+                 " stage " + std::to_string(p.stage);
+        } else if constexpr (std::is_same_v<T, IdleResetPayload>) {
+          out += " " + p.processor.to_string() + " x" +
+                 std::to_string(p.completed.size());
+        }
+      },
+      payload);
+  return out;
+}
+
+}  // namespace rtcm::events

@@ -1,0 +1,37 @@
+#include "events/federated_channel.h"
+
+#include <cassert>
+
+namespace rtcm::events {
+
+LocalEventChannel& FederatedEventChannel::channel(ProcessorId processor) {
+  assert(processor.valid());
+  auto it = channels_.find(processor);
+  if (it == channels_.end()) {
+    it = channels_
+             .emplace(processor,
+                      std::make_unique<LocalEventChannel>(processor))
+             .first;
+  }
+  return *it->second;
+}
+
+void FederatedEventChannel::push(ProcessorId source, EventPayload payload) {
+  assert(source.valid());
+  Event event{source, sim_.now(), std::move(payload)};
+  ++stats_.events_pushed;
+
+  // Route via each gateway: ship one copy per interested processor.  The
+  // event is captured by value per destination, matching the wire copy a
+  // real gateway would forward.
+  for (auto& [proc, chan] : channels_) {
+    if (!chan->matches(event)) continue;
+    if (proc == source) ++stats_.local_deliveries;
+    else ++stats_.remote_deliveries;
+    LocalEventChannel* dest = chan.get();
+    network_.send(source, proc,
+                  [dest, event] { dest->deliver(event); });
+  }
+}
+
+}  // namespace rtcm::events

@@ -1,0 +1,54 @@
+// Federated event channel (paper §3, Figure 1).
+//
+// "All processors are connected by TAO's federated event channel which
+// pushes events through local event channels, gateways and remote event
+// channels to the events' consumers sitting on different processors."
+//
+// This implementation keeps one LocalEventChannel per processor.  A push
+// from processor P is delivered:
+//   - immediately (same simulator step, loopback latency) to P's own local
+//     channel if it has a matching subscription, and
+//   - through the simulated network (one message per interested remote
+//     processor) to every other local channel with a matching subscription.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "events/local_channel.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace rtcm::events {
+
+struct FederationStats {
+  std::uint64_t events_pushed = 0;
+  std::uint64_t local_deliveries = 0;
+  std::uint64_t remote_deliveries = 0;
+};
+
+class FederatedEventChannel {
+ public:
+  FederatedEventChannel(sim::Simulator& sim, sim::Network& network)
+      : sim_(sim), network_(network) {}
+  FederatedEventChannel(const FederatedEventChannel&) = delete;
+  FederatedEventChannel& operator=(const FederatedEventChannel&) = delete;
+
+  /// The local channel of `processor`, created on first use.
+  LocalEventChannel& channel(ProcessorId processor);
+
+  /// Push an event from `source`; stamps `published` and routes to every
+  /// interested channel (including the source's own).
+  void push(ProcessorId source, EventPayload payload);
+
+  [[nodiscard]] const FederationStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& network_;
+  std::map<ProcessorId, std::unique_ptr<LocalEventChannel>> channels_;
+  FederationStats stats_;
+};
+
+}  // namespace rtcm::events

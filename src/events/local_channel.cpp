@@ -1,0 +1,49 @@
+#include "events/local_channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtcm::events {
+
+SubscriptionId LocalEventChannel::subscribe(EventTypeSet types,
+                                            ConsumerFn consumer,
+                                            EventFilter filter) {
+  assert(consumer && "subscription needs a consumer callback");
+  const std::uint64_t id = next_id_++;
+  subscriptions_.push_back(
+      Subscription{id, types, std::move(consumer), std::move(filter)});
+  return SubscriptionId(id);
+}
+
+bool LocalEventChannel::unsubscribe(SubscriptionId id) {
+  const auto it = std::find_if(
+      subscriptions_.begin(), subscriptions_.end(),
+      [&](const Subscription& s) { return s.id == id.v_; });
+  if (it == subscriptions_.end()) return false;
+  subscriptions_.erase(it);
+  return true;
+}
+
+bool LocalEventChannel::matches(const Event& event) const {
+  return std::any_of(subscriptions_.begin(), subscriptions_.end(),
+                     [&](const Subscription& s) { return s.accepts(event); });
+}
+
+void LocalEventChannel::deliver(const Event& event) {
+  // Snapshot ids first: a consumer callback may subscribe/unsubscribe.
+  std::vector<std::uint64_t> matched;
+  for (const Subscription& s : subscriptions_) {
+    if (s.accepts(event)) matched.push_back(s.id);
+  }
+  for (const std::uint64_t id : matched) {
+    const auto it = std::find_if(
+        subscriptions_.begin(), subscriptions_.end(),
+        [&](const Subscription& s) { return s.id == id; });
+    if (it != subscriptions_.end()) {
+      ++delivered_;
+      it->consumer(event);
+    }
+  }
+}
+
+}  // namespace rtcm::events

@@ -1,0 +1,93 @@
+// Local event channel: per-processor pub/sub endpoint.
+//
+// Consumers on a processor subscribe with an event-type set and an optional
+// predicate.  The predicate doubles as the gateway-side filter: the
+// federated channel only ships an event to this processor when some local
+// subscription matches, mirroring TAO's federated event channel where
+// gateways subscribe on behalf of remote consumers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "events/event.h"
+#include "util/ids.h"
+
+namespace rtcm::events {
+
+using ConsumerFn = std::function<void(const Event&)>;
+using EventFilter = std::function<bool(const Event&)>;
+
+/// Bitset over EventType.
+class EventTypeSet {
+ public:
+  constexpr EventTypeSet() = default;
+  constexpr EventTypeSet(std::initializer_list<EventType> types) {
+    for (EventType t : types) mask_ |= bit(t);
+  }
+  [[nodiscard]] constexpr bool contains(EventType t) const {
+    return (mask_ & bit(t)) != 0;
+  }
+
+ private:
+  static constexpr std::uint32_t bit(EventType t) {
+    return 1u << static_cast<std::uint8_t>(t);
+  }
+  std::uint32_t mask_ = 0;
+};
+
+class SubscriptionId {
+ public:
+  constexpr SubscriptionId() = default;
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  constexpr auto operator<=>(const SubscriptionId&) const = default;
+
+ private:
+  friend class LocalEventChannel;
+  constexpr explicit SubscriptionId(std::uint64_t v) : v_(v) {}
+  std::uint64_t v_ = 0;
+};
+
+class LocalEventChannel {
+ public:
+  explicit LocalEventChannel(ProcessorId processor) : processor_(processor) {}
+  LocalEventChannel(const LocalEventChannel&) = delete;
+  LocalEventChannel& operator=(const LocalEventChannel&) = delete;
+
+  [[nodiscard]] ProcessorId processor() const { return processor_; }
+
+  /// Register a consumer.  `filter` may be null (match all of `types`).
+  SubscriptionId subscribe(EventTypeSet types, ConsumerFn consumer,
+                           EventFilter filter = nullptr);
+  bool unsubscribe(SubscriptionId id);
+
+  /// Would any local subscription accept this event?  (Routing query.)
+  [[nodiscard]] bool matches(const Event& event) const;
+
+  /// Dispatch to every matching consumer, in subscription order.
+  void deliver(const Event& event);
+
+  [[nodiscard]] std::size_t subscription_count() const {
+    return subscriptions_.size();
+  }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
+ private:
+  struct Subscription {
+    std::uint64_t id;
+    EventTypeSet types;
+    ConsumerFn consumer;
+    EventFilter filter;
+    [[nodiscard]] bool accepts(const Event& e) const {
+      return types.contains(e.type()) && (!filter || filter(e));
+    }
+  };
+
+  ProcessorId processor_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t delivered_ = 0;
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace rtcm::events

@@ -1,0 +1,50 @@
+#include "rt/loopback.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/stopwatch.h"
+
+namespace rtcm::rt {
+
+Result<PingPongResult> measure_loopback_delay(std::size_t iterations,
+                                              std::size_t payload_bytes) {
+  int fds[2];
+  if (socketpair(AF_UNIX, SOCK_SEQPACKET, 0, fds) != 0) {
+    return Result<PingPongResult>::error(
+        "socketpair(AF_UNIX, SOCK_SEQPACKET) failed");
+  }
+
+  std::thread echo([fd = fds[1], payload_bytes, iterations] {
+    std::vector<char> buf(payload_bytes);
+    for (std::size_t i = 0; i < iterations; ++i) {
+      const ssize_t n = read(fd, buf.data(), buf.size());
+      if (n <= 0) break;
+      if (write(fd, buf.data(), static_cast<std::size_t>(n)) < 0) break;
+    }
+  });
+
+  PingPongResult result;
+  std::vector<char> payload(payload_bytes, 0x5a);
+  std::vector<char> buf(payload_bytes);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    Stopwatch sw;
+    if (write(fds[0], payload.data(), payload.size()) < 0) break;
+    if (read(fds[0], buf.data(), buf.size()) <= 0) break;
+    result.one_way_us.add(sw.elapsed_us() / 2.0);
+  }
+
+  close(fds[0]);
+  echo.join();
+  close(fds[1]);
+
+  if (result.one_way_us.empty()) {
+    return Result<PingPongResult>::error("loopback measurement produced no samples");
+  }
+  return result;
+}
+
+}  // namespace rtcm::rt

@@ -1,0 +1,32 @@
+// Loopback message transport for communication-delay measurement.
+//
+// The paper measured its testbed's communication delay by pushing an event
+// back and forth between two processors 1000 times and halving the mean/max
+// round-trip times (§7.3).  Without a physical network we do the same over
+// a Unix-domain socket pair between two threads: a real kernel-mediated
+// message hop, the closest local equivalent of one middleware event
+// traversal.  The paper's measured constant (322 us mean) can be injected
+// into the composite Figure 8 rows instead, to model the original testbed.
+#pragma once
+
+#include <cstddef>
+
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace rtcm::rt {
+
+struct PingPongResult {
+  /// One-way delays (round-trip / 2), microseconds.
+  Samples one_way_us;
+  [[nodiscard]] double mean_us() const { return one_way_us.mean(); }
+  [[nodiscard]] double max_us() const { return one_way_us.max(); }
+};
+
+/// Run `iterations` ping-pongs of `payload_bytes`-sized messages over a
+/// socketpair serviced by an echo thread.  Fails if sockets cannot be
+/// created.
+[[nodiscard]] Result<PingPongResult> measure_loopback_delay(
+    std::size_t iterations, std::size_t payload_bytes = 64);
+
+}  // namespace rtcm::rt

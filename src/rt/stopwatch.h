@@ -1,0 +1,47 @@
+// Wall-clock measurement utilities for the overhead experiments (§7.3).
+//
+// The paper used KURT-Linux's nanosecond timestamp counter; we use
+// std::chrono::steady_clock, which has comparable resolution on modern
+// Linux.
+#pragma once
+
+#include <chrono>
+
+#include "util/time.h"
+
+namespace rtcm::rt {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed wall time since construction or the last restart.
+  [[nodiscard]] Duration elapsed() const {
+    return Duration(std::chrono::duration_cast<std::chrono::microseconds>(
+                        clock::now() - start_)
+                        .count());
+  }
+
+  /// Elapsed microseconds as a double (sub-microsecond resolution).
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+               clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Measure one call's wall time in microseconds.
+template <typename Fn>
+[[nodiscard]] double time_call_us(Fn&& fn) {
+  Stopwatch sw;
+  fn();
+  return sw.elapsed_us();
+}
+
+}  // namespace rtcm::rt

@@ -1,0 +1,90 @@
+#include "sched/aub.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace rtcm::sched {
+
+namespace {
+// Small tolerance so boundary workloads (LHS exactly 1) admit cleanly in the
+// presence of floating-point rounding.
+constexpr double kEpsilon = 1e-9;
+// A processor at (or numerically beyond) full utilization can never satisfy
+// the bound; report a sentinel comfortably above 1.
+constexpr double kUnsatisfiable = 1e9;
+}  // namespace
+
+double aub_term(double u) {
+  assert(u >= 0.0);
+  assert(u < 1.0);
+  return u * (1.0 - u / 2.0) / (1.0 - u);
+}
+
+namespace {
+
+double lhs_with_overlay(
+    const UtilizationLedger& ledger,
+    const std::unordered_map<ProcessorId, double>& overlay,
+    const std::vector<ProcessorId>& footprint) {
+  double sum = 0;
+  for (const ProcessorId proc : footprint) {
+    double u = ledger.total(proc);
+    if (const auto it = overlay.find(proc); it != overlay.end()) {
+      u += it->second;
+    }
+    if (u >= 1.0 - kEpsilon) return kUnsatisfiable;
+    sum += aub_term(u);
+  }
+  return sum;
+}
+
+}  // namespace
+
+double aub_lhs(const UtilizationLedger& ledger,
+               const std::vector<ProcessorId>& footprint) {
+  return lhs_with_overlay(ledger, {}, footprint);
+}
+
+AdmissionDecision aub_admission_test(
+    const UtilizationLedger& ledger, TaskId candidate,
+    const std::vector<CandidateStage>& stages,
+    const std::vector<TaskFootprint>& current) {
+  AdmissionDecision decision;
+
+  // Tentatively overlay the candidate's contributions on the ledger totals.
+  std::unordered_map<ProcessorId, double> overlay;
+  std::vector<ProcessorId> candidate_footprint;
+  candidate_footprint.reserve(stages.size());
+  for (const CandidateStage& s : stages) {
+    assert(s.processor.valid());
+    assert(s.utilization >= 0.0);
+    overlay[s.processor] += s.utilization;
+    candidate_footprint.push_back(s.processor);
+  }
+
+  // The candidate itself must satisfy Equation (1)...
+  decision.candidate_lhs =
+      lhs_with_overlay(ledger, overlay, candidate_footprint);
+  if (decision.candidate_lhs > 1.0 + kEpsilon) {
+    decision.admitted = false;
+    decision.blocking_task = candidate;
+    return decision;
+  }
+
+  // ...and so must every task already in the current task set.
+  for (const TaskFootprint& fp : current) {
+    const double lhs = lhs_with_overlay(ledger, overlay, fp.processors);
+    if (lhs > 1.0 + kEpsilon) {
+      decision.admitted = false;
+      decision.failed_on_existing = true;
+      decision.blocking_task = fp.task;
+      return decision;
+    }
+  }
+
+  decision.admitted = true;
+  return decision;
+}
+
+}  // namespace rtcm::sched

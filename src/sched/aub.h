@@ -1,0 +1,63 @@
+// Aperiodic Utilization Bound (AUB) schedulability analysis.
+//
+// Implements the paper's Equation (1) (Abdelzaher, Thaker, Lardieri,
+// ICDCS'04): under End-to-end Deadline Monotonic Scheduling, task T_i meets
+// its deadline if
+//
+//        n_i
+//        Σ    U(1 - U/2) / (1 - U)   <=  1         where U = U_{V_ij}
+//        j=1
+//
+// over the processors V_ij its subtasks visit (a processor visited twice
+// counts twice).  Admission control tentatively adds the candidate's
+// contributions and requires the condition to keep holding for the candidate
+// and for every task currently in the system.
+#pragma once
+
+#include <vector>
+
+#include "sched/utilization_ledger.h"
+#include "util/ids.h"
+
+namespace rtcm::sched {
+
+/// One admitted task's visit list, as the admission test needs to re-check it.
+struct TaskFootprint {
+  TaskId task;
+  /// Processor of each stage, in chain order (repeats allowed).
+  std::vector<ProcessorId> processors;
+};
+
+/// The candidate's per-stage placement and synthetic utilization.
+struct CandidateStage {
+  ProcessorId processor;
+  double utilization = 0.0;
+};
+
+/// Per-stage term of Equation (1); requires u in [0, 1).
+[[nodiscard]] double aub_term(double u);
+
+/// Left-hand side of Equation (1) for a footprint against given totals.
+/// Returns an unsatisfiable value (> 1) if any visited processor is at or
+/// above full utilization.
+[[nodiscard]] double aub_lhs(const UtilizationLedger& ledger,
+                             const std::vector<ProcessorId>& footprint);
+
+/// Detailed outcome of one admission test, for tracing and metrics.
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Which check failed: the candidate itself or an already-admitted task.
+  bool failed_on_existing = false;
+  TaskId blocking_task;  // valid when failed_on_existing
+  double candidate_lhs = 0.0;
+};
+
+/// Evaluate Equation (1) for `candidate` placed per `stages`, with every
+/// footprint in `current` still required to pass.  The ledger is only read;
+/// the tentative addition is simulated internally.
+[[nodiscard]] AdmissionDecision aub_admission_test(
+    const UtilizationLedger& ledger, TaskId candidate,
+    const std::vector<CandidateStage>& stages,
+    const std::vector<TaskFootprint>& current);
+
+}  // namespace rtcm::sched

@@ -1,0 +1,25 @@
+#include "sched/edms.h"
+
+#include <algorithm>
+
+namespace rtcm::sched {
+
+std::unordered_map<TaskId, Priority> assign_edms_priorities(
+    const std::vector<TaskSpec>& tasks) {
+  std::vector<const TaskSpec*> order;
+  order.reserve(tasks.size());
+  for (const auto& t : tasks) order.push_back(&t);
+  std::sort(order.begin(), order.end(),
+            [](const TaskSpec* a, const TaskSpec* b) {
+              if (a->deadline != b->deadline) return a->deadline < b->deadline;
+              return a->id < b->id;
+            });
+  std::unordered_map<TaskId, Priority> out;
+  out.reserve(order.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    out.emplace(order[rank]->id, Priority(static_cast<std::int32_t>(rank)));
+  }
+  return out;
+}
+
+}  // namespace rtcm::sched

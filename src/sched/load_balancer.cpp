@@ -1,0 +1,68 @@
+#include "sched/load_balancer.h"
+
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace rtcm::sched {
+
+std::vector<ProcessorId> LoadBalancer::place(
+    const TaskSpec& task, const UtilizationLedger& ledger) const {
+  std::vector<ProcessorId> placement;
+  placement.reserve(task.subtasks.size());
+
+  // Utilization the earlier stages of this same candidate would add.
+  std::unordered_map<ProcessorId, double> pending;
+
+  for (std::size_t j = 0; j < task.subtasks.size(); ++j) {
+    const SubtaskSpec& st = task.subtasks[j];
+    ProcessorId chosen = st.primary;
+
+    switch (policy_) {
+      case PlacementPolicy::kPrimaryOnly:
+        break;
+      case PlacementPolicy::kRandomReplica: {
+        const auto candidates = st.candidates();
+        if (candidates.size() > 1 && random_pick_) {
+          chosen = candidates[random_pick_(candidates.size())];
+        }
+        break;
+      }
+      case PlacementPolicy::kLowestUtilization: {
+        double best = std::numeric_limits<double>::infinity();
+        for (const ProcessorId p : st.candidates()) {
+          double u = ledger.total(p);
+          if (const auto it = pending.find(p); it != pending.end()) {
+            u += it->second;
+          }
+          // Strict < keeps the earliest candidate (the primary) on ties,
+          // avoiding gratuitous re-allocations.
+          if (u < best) {
+            best = u;
+            chosen = p;
+          }
+        }
+        break;
+      }
+    }
+
+    pending[chosen] += task.subtask_utilization(j);
+    placement.push_back(chosen);
+  }
+  return placement;
+}
+
+double utilization_spread(const UtilizationLedger& ledger,
+                          const std::vector<ProcessorId>& procs) {
+  assert(!procs.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const ProcessorId p : procs) {
+    const double u = ledger.total(p);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  return hi - lo;
+}
+
+}  // namespace rtcm::sched

@@ -1,0 +1,49 @@
+#include "sched/utilization_ledger.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtcm::sched {
+
+ContributionId UtilizationLedger::add(ProcessorId proc, double amount) {
+  assert(proc.valid());
+  assert(amount >= 0.0);
+  const std::uint64_t id = next_id_++;
+  entries_.emplace(id, Entry{proc, amount});
+  totals_[proc] += amount;
+  return ContributionId(id);
+}
+
+bool UtilizationLedger::remove(ContributionId id) {
+  if (!id.valid()) return false;
+  const auto it = entries_.find(id.v_);
+  if (it == entries_.end()) return false;
+  auto& total = totals_[it->second.proc];
+  total -= it->second.amount;
+  // Guard against accumulated floating-point drift producing tiny negatives.
+  if (total < 0.0) total = 0.0;
+  entries_.erase(it);
+  return true;
+}
+
+double UtilizationLedger::total(ProcessorId proc) const {
+  const auto it = totals_.find(proc);
+  return it == totals_.end() ? 0.0 : it->second;
+}
+
+double UtilizationLedger::total_all() const {
+  double sum = 0;
+  for (const auto& [proc, total] : totals_) sum += total;
+  return sum;
+}
+
+std::vector<ProcessorId> UtilizationLedger::processors() const {
+  std::vector<ProcessorId> out;
+  for (const auto& [proc, total] : totals_) {
+    if (total > 0.0) out.push_back(proc);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rtcm::sched

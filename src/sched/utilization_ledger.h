@@ -1,0 +1,68 @@
+// Synthetic utilization ledger (paper §2, AUB analysis).
+//
+// The ledger is the admission controller's book of record: every admitted
+// job (or per-task reservation) contributes `C_i,j / D_i` to the synthetic
+// utilization U_j(t) of each processor its subtasks are assigned to.
+// Contributions are added on admission and removed either when the job's
+// absolute deadline expires or earlier via the resetting rule (idle
+// resetting).  Each add() returns a handle so the owner can remove exactly
+// the contribution it created — the same subtask can have many live
+// contributions at once (one per in-flight job).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace rtcm::sched {
+
+/// Opaque handle for one contribution.  Default-constructed handles are
+/// inert.
+class ContributionId {
+ public:
+  constexpr ContributionId() = default;
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  constexpr auto operator<=>(const ContributionId&) const = default;
+
+ private:
+  friend class UtilizationLedger;
+  constexpr explicit ContributionId(std::uint64_t v) : v_(v) {}
+  std::uint64_t v_ = 0;
+};
+
+class UtilizationLedger {
+ public:
+  /// Register `amount` of synthetic utilization on `proc` (amount >= 0).
+  [[nodiscard]] ContributionId add(ProcessorId proc, double amount);
+
+  /// Remove a contribution.  Returns false if the handle is inert or the
+  /// contribution was already removed (callers use this to make removal
+  /// idempotent across the deadline-expiry and idle-reset paths).
+  bool remove(ContributionId id);
+
+  /// Current synthetic utilization of one processor.
+  [[nodiscard]] double total(ProcessorId proc) const;
+
+  /// Sum across all processors.
+  [[nodiscard]] double total_all() const;
+
+  /// Number of live contributions.
+  [[nodiscard]] std::size_t live() const { return entries_.size(); }
+
+  /// Processors with a nonzero recorded total (sorted).
+  [[nodiscard]] std::vector<ProcessorId> processors() const;
+
+ private:
+  struct Entry {
+    ProcessorId proc;
+    double amount;
+  };
+
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<ProcessorId, double> totals_;
+};
+
+}  // namespace rtcm::sched

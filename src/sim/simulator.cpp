@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace rtcm::sim {
+
+EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  assert(fn && "null event callback");
+  const std::uint64_t seq = next_seq_++;
+  queue_.emplace(Key{at.usec(), seq}, std::move(fn));
+  return EventHandle(at.usec(), seq);
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  assert(!delay.is_negative());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  return queue_.erase(Key{handle.time_usec_, handle.seq_}) > 0;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = Time(it->first.first);
+  // Move the callback out before erasing: the callback may schedule or
+  // cancel other events, mutating the queue underneath us.
+  std::function<void()> fn = std::move(it->second);
+  queue_.erase(it);
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && Time(queue_.begin()->first.first) <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace rtcm::sim

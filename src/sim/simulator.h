@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// The engine owns virtual time.  Work is expressed as closures scheduled at
+// absolute instants; the engine runs them in (time, insertion order) so a
+// given program is fully deterministic.  Scheduled events can be cancelled
+// (needed by the preemptive processor model, which reschedules completion
+// events when higher-priority work arrives).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "util/time.h"
+
+namespace rtcm::sim {
+
+/// Identifies one scheduled event for cancellation.  Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  constexpr void reset() { seq_ = 0; }
+
+ private:
+  friend class Simulator;
+  constexpr EventHandle(std::int64_t time_usec, std::uint64_t seq)
+      : time_usec_(time_usec), seq_(seq) {}
+  std::int64_t time_usec_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now).
+  EventHandle schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay (>= 0).
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancel a pending event.  Returns false if it already ran, was already
+  /// cancelled, or the handle is inert.
+  bool cancel(EventHandle handle);
+
+  /// Run a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Run events until the queue is empty or `deadline` is passed.  Events
+  /// scheduled exactly at `deadline` still run.  Time is left at the later of
+  /// the last event time and `deadline` (when the horizon was reached).
+  void run_until(Time deadline);
+
+  /// Run until the event queue drains completely.
+  void run_all();
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  using Key = std::pair<std::int64_t, std::uint64_t>;  // (time, seq)
+
+  Time now_ = Time::epoch();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace rtcm::sim

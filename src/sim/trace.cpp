@@ -1,0 +1,64 @@
+#include "sim/trace.h"
+
+namespace rtcm::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kJobArrival:
+      return "arrival";
+    case TraceKind::kAdmissionTest:
+      return "admission-test";
+    case TraceKind::kJobAdmitted:
+      return "admitted";
+    case TraceKind::kJobRejected:
+      return "rejected";
+    case TraceKind::kJobReleased:
+      return "released";
+    case TraceKind::kSubjobComplete:
+      return "subjob-complete";
+    case TraceKind::kJobComplete:
+      return "job-complete";
+    case TraceKind::kDeadlineMiss:
+      return "deadline-miss";
+    case TraceKind::kIdle:
+      return "idle";
+    case TraceKind::kIdleReset:
+      return "idle-reset";
+    case TraceKind::kReallocation:
+      return "reallocation";
+  }
+  return "?";
+}
+
+std::size_t Trace::count(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceRecord> Trace::of_kind(TraceKind kind) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
+std::string Trace::render() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.time.to_string();
+    out += ' ';
+    out += to_string(r.kind);
+    if (r.processor.valid()) out += ' ' + r.processor.to_string();
+    if (r.task.valid()) out += ' ' + r.task.to_string();
+    if (r.job.valid()) out += ' ' + r.job.to_string();
+    if (!r.detail.empty()) out += " [" + r.detail + "]";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rtcm::sim

@@ -1,0 +1,67 @@
+// Execution trace recording.
+//
+// Tests and debugging tools observe middleware behaviour through a trace of
+// timestamped records rather than by peeking at private state.  Recording is
+// opt-in; when disabled, record() is a no-op.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace rtcm::sim {
+
+enum class TraceKind {
+  kJobArrival,      // job arrived at its task effector
+  kAdmissionTest,   // AC evaluated the AUB condition
+  kJobAdmitted,     // AC accepted
+  kJobRejected,     // AC rejected
+  kJobReleased,     // TE released the job (first subjob submitted)
+  kSubjobComplete,  // a subjob finished executing
+  kJobComplete,     // last subjob finished
+  kDeadlineMiss,    // job completed after its absolute deadline
+  kIdle,            // processor went idle
+  kIdleReset,       // IR report removed contributions at the AC
+  kReallocation,    // LB placed a subjob away from its primary processor
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  Time time;
+  TraceKind kind;
+  ProcessorId processor;  // invalid when not applicable
+  TaskId task;            // invalid when not applicable
+  JobId job;              // invalid when not applicable
+  std::string detail;     // free-form extra context
+};
+
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(TraceRecord record) {
+    if (enabled_) records_.push_back(std::move(record));
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+  /// All records of one kind, in time order.
+  [[nodiscard]] std::vector<TraceRecord> of_kind(TraceKind kind) const;
+  void clear() { records_.clear(); }
+
+  /// Render records as one line each (for golden tests / debugging).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace rtcm::sim

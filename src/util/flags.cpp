@@ -1,0 +1,78 @@
+#include "util/flags.h"
+
+#include "util/strings.h"
+
+namespace rtcm {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --name value (if the next token is not itself a flag), else bare bool.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::int64_t v = 0;
+  if (!parse_int64(it->second, v)) {
+    errors_.push_back("flag --" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  double v = 0;
+  if (!parse_double(it->second, v)) {
+    errors_.push_back("flag --" + name + " expects a number, got '" +
+                      it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  bool v = false;
+  if (!parse_bool(it->second, v)) {
+    errors_.push_back("flag --" + name + " expects a boolean, got '" +
+                      it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+}  // namespace rtcm

@@ -1,0 +1,78 @@
+// Strongly-typed identifiers for the entities of the middleware.
+//
+// Using distinct wrapper types (instead of bare integers) makes it impossible
+// to pass a processor id where a task id is expected.  Each id is a small
+// integer index; kInvalid (-1) marks "no value".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rtcm {
+
+namespace detail {
+
+/// CRTP base for int32-backed id types.
+template <typename Tag>
+class IdBase {
+ public:
+  static constexpr std::int32_t kInvalid = -1;
+
+  constexpr IdBase() = default;
+  constexpr explicit IdBase(std::int32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+  constexpr auto operator<=>(const IdBase&) const = default;
+
+ private:
+  std::int32_t value_ = kInvalid;
+};
+
+}  // namespace detail
+
+/// Identifies one processor (node) in the distributed system.
+struct ProcessorId : detail::IdBase<ProcessorId> {
+  using IdBase::IdBase;
+  [[nodiscard]] std::string to_string() const {
+    return valid() ? "P" + std::to_string(value()) : "P?";
+  }
+};
+
+/// Identifies one end-to-end task.
+struct TaskId : detail::IdBase<TaskId> {
+  using IdBase::IdBase;
+  [[nodiscard]] std::string to_string() const {
+    return valid() ? "T" + std::to_string(value()) : "T?";
+  }
+};
+
+/// Identifies one job (release) of a task; unique across the whole run.
+struct JobId : detail::IdBase<JobId> {
+  using IdBase::IdBase;
+  [[nodiscard]] std::string to_string() const {
+    return valid() ? "J" + std::to_string(value()) : "J?";
+  }
+};
+
+}  // namespace rtcm
+
+template <>
+struct std::hash<rtcm::ProcessorId> {
+  std::size_t operator()(const rtcm::ProcessorId& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+template <>
+struct std::hash<rtcm::TaskId> {
+  std::size_t operator()(const rtcm::TaskId& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+template <>
+struct std::hash<rtcm::JobId> {
+  std::size_t operator()(const rtcm::JobId& id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

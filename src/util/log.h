@@ -1,0 +1,55 @@
+// Minimal levelled logger.
+//
+// rtcm libraries log through this single sink so tests and benches can
+// silence or capture output.  The default level is kWarn to keep experiment
+// output clean; examples raise it to kInfo.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rtcm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+namespace log_internal {
+/// Global threshold; messages below it are discarded.
+LogLevel threshold();
+void set_threshold(LogLevel level);
+void emit(LogLevel level, const std::string& msg);
+}  // namespace log_internal
+
+/// Set the global log threshold.
+inline void set_log_level(LogLevel level) {
+  log_internal::set_threshold(level);
+}
+
+/// Stream-style log statement: LogMessage(LogLevel::kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_internal::threshold()) {
+      log_internal::emit(level_, stream_.str());
+    }
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= log_internal::threshold()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rtcm
+
+#define RTCM_LOG_DEBUG ::rtcm::LogMessage(::rtcm::LogLevel::kDebug)
+#define RTCM_LOG_INFO ::rtcm::LogMessage(::rtcm::LogLevel::kInfo)
+#define RTCM_LOG_WARN ::rtcm::LogMessage(::rtcm::LogLevel::kWarn)
+#define RTCM_LOG_ERROR ::rtcm::LogMessage(::rtcm::LogLevel::kError)

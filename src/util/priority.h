@@ -1,0 +1,38 @@
+// Dispatch priority for subtask execution.
+//
+// Smaller numeric value = more urgent, matching the rate/deadline-monotonic
+// convention of "priority level 0 is highest".  EDMS assigns level k to the
+// task with the k-th shortest end-to-end deadline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtcm {
+
+class Priority {
+ public:
+  constexpr Priority() = default;
+  constexpr explicit Priority(std::int32_t level) : level_(level) {}
+
+  [[nodiscard]] static constexpr Priority lowest() {
+    return Priority(INT32_MAX);
+  }
+  [[nodiscard]] static constexpr Priority highest() { return Priority(0); }
+
+  [[nodiscard]] constexpr std::int32_t level() const { return level_; }
+  /// True if this priority preempts `other` (strictly more urgent).
+  [[nodiscard]] constexpr bool preempts(Priority other) const {
+    return level_ < other.level_;
+  }
+  constexpr auto operator<=>(const Priority&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return "prio" + std::to_string(level_);
+  }
+
+ private:
+  std::int32_t level_ = INT32_MAX;
+};
+
+}  // namespace rtcm

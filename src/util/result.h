@@ -1,0 +1,61 @@
+// Lightweight expected/Result types for recoverable errors (parsing,
+// validation, configuration).  Hard programming errors still assert.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rtcm {
+
+/// Success-or-error-message outcome for operations with no payload.
+class Status {
+ public:
+  static Status ok() { return Status(); }
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  [[nodiscard]] bool is_ok() const { return !message_.has_value(); }
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  Status() = default;
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// Value-or-error-message outcome.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result error(std::string message) {
+    Result r;
+    r.message_ = std::move(message);
+    return r;
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(value_.has_value());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(value_.has_value());
+    return std::move(*value_);
+  }
+
+ private:
+  Result() = default;
+  std::optional<T> value_;
+  std::optional<std::string> message_;
+};
+
+}  // namespace rtcm

@@ -1,0 +1,61 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace rtcm {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  assert(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+Duration Rng::uniform_duration(Duration lo, Duration hi) {
+  return Duration(uniform_int(lo.usec(), hi.usec()));
+}
+
+Duration Rng::exponential_duration(Duration mean) {
+  return Duration(
+      static_cast<std::int64_t>(exponential(static_cast<double>(mean.usec()))));
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  assert(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::vector<double> Rng::proportions(std::size_t n) {
+  std::vector<double> v(n);
+  double sum = 0;
+  for (auto& x : v) {
+    // Exponential spacings give a uniform sample from the simplex, so no
+    // single share systematically dominates.
+    x = exponential(1.0);
+    sum += x;
+  }
+  for (auto& x : v) x /= sum;
+  return v;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  // splitmix64 finalizer: decorrelates derived seeds even for adjacent salts.
+  std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace rtcm

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workloads and simulations.
+//
+// A thin wrapper over std::mt19937_64 with the distributions the workload
+// generators need.  Every experiment takes an explicit seed so runs are
+// reproducible; `fork` derives independent streams for sub-generators.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/time.h"
+
+namespace rtcm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed real with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Uniform duration in [lo, hi] (microsecond granularity).
+  [[nodiscard]] Duration uniform_duration(Duration lo, Duration hi);
+
+  /// Exponentially distributed duration with the given mean.
+  [[nodiscard]] Duration exponential_duration(Duration mean);
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Uniformly chosen index in [0, n) (n > 0).
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// Random proportions: n positive reals summing to 1.
+  [[nodiscard]] std::vector<double> proportions(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derive an independent generator (stable function of this seed + salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt);
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rtcm

@@ -1,0 +1,38 @@
+// Small string helpers shared by the spec parser, XML layer and CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtcm {
+
+/// Split on a delimiter character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of whitespace; no empty fields.
+[[nodiscard]] std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parse helpers returning false on malformed input instead of throwing.
+[[nodiscard]] bool parse_int64(std::string_view s, std::int64_t& out);
+[[nodiscard]] bool parse_double(std::string_view s, double& out);
+[[nodiscard]] bool parse_bool(std::string_view s, bool& out);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rtcm

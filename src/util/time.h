@@ -1,0 +1,124 @@
+// Strong time types used throughout rtcm.
+//
+// All simulated and measured time in rtcm is expressed in integer
+// microseconds.  Two distinct value types prevent the classic bug of adding
+// two absolute times: `Duration` is a span, `Time` is an absolute instant on
+// the (virtual or wall) clock.  Arithmetic is defined only where it is
+// meaningful (Time - Time = Duration, Time + Duration = Time, ...).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rtcm {
+
+/// A span of time in integer microseconds.  May be negative in intermediate
+/// arithmetic (e.g. slack computations) but most APIs expect non-negative
+/// values.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t usec) : usec_(usec) {}
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration(0); }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t v) {
+    return Duration(v);
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t v) {
+    return Duration(v * 1000);
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) {
+    return Duration(v * 1000000);
+  }
+  /// Largest representable span; used as an "infinite" sentinel.
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t usec() const { return usec_; }
+  [[nodiscard]] constexpr double as_seconds() const { return usec_ / 1e6; }
+  [[nodiscard]] constexpr double as_milliseconds() const {
+    return usec_ / 1e3;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return usec_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return usec_ < 0; }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(usec_ + o.usec_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(usec_ - o.usec_);
+  }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration(usec_ * k);
+  }
+  /// Scale by a real factor, rounding to the nearest microsecond.
+  [[nodiscard]] constexpr Duration scaled(double k) const {
+    return Duration(static_cast<std::int64_t>(usec_ * k + 0.5));
+  }
+  constexpr Duration& operator+=(Duration o) {
+    usec_ += o.usec_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    usec_ -= o.usec_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Ratio of two spans as a real number (caller ensures o != 0).
+  [[nodiscard]] constexpr double ratio(Duration o) const {
+    return static_cast<double>(usec_) / static_cast<double>(o.usec_);
+  }
+
+  /// Human-readable rendering, e.g. "250ms", "1.5s", "17us".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t usec_ = 0;
+};
+
+/// An absolute instant in integer microseconds since the clock epoch.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t usec) : usec_(usec) {}
+
+  [[nodiscard]] static constexpr Time epoch() { return Time(0); }
+  [[nodiscard]] static constexpr Time max() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t usec() const { return usec_; }
+  [[nodiscard]] constexpr double as_seconds() const { return usec_ / 1e6; }
+
+  constexpr Time operator+(Duration d) const { return Time(usec_ + d.usec()); }
+  constexpr Time operator-(Duration d) const { return Time(usec_ - d.usec()); }
+  constexpr Duration operator-(Time o) const {
+    return Duration(usec_ - o.usec_);
+  }
+  constexpr Time& operator+=(Duration d) {
+    usec_ += d.usec();
+    return *this;
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t usec_ = 0;
+};
+
+inline std::string Duration::to_string() const {
+  const std::int64_t v = usec_;
+  if (v % 1000000 == 0) return std::to_string(v / 1000000) + "s";
+  if (v % 1000 == 0) return std::to_string(v / 1000) + "ms";
+  return std::to_string(v) + "us";
+}
+
+inline std::string Time::to_string() const {
+  return "t+" + Duration(usec_).to_string();
+}
+
+}  // namespace rtcm

@@ -1,0 +1,56 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtcm::workload {
+
+std::vector<core::Arrival> generate_task_arrivals(const sched::TaskSpec& task,
+                                                  Time horizon, Rng& rng) {
+  std::vector<core::Arrival> out;
+  if (task.kind == sched::TaskKind::kPeriodic) {
+    assert(task.period > Duration::zero());
+    for (Time t = Time::epoch(); t < horizon; t += task.period) {
+      out.push_back({task.id, t});
+    }
+  } else {
+    assert(task.mean_interarrival > Duration::zero());
+    Time t = Time::epoch();
+    while (t < horizon) {
+      out.push_back({task.id, t});
+      t += rng.exponential_duration(task.mean_interarrival);
+    }
+  }
+  return out;
+}
+
+std::vector<core::Arrival> generate_arrivals(const sched::TaskSet& tasks,
+                                             Time horizon, Rng& rng) {
+  std::vector<core::Arrival> out;
+  for (const sched::TaskSpec& task : tasks.tasks()) {
+    // Fork a per-task stream so adding a task does not reshuffle the
+    // arrival pattern of every other task.
+    Rng task_rng = rng.fork(static_cast<std::uint64_t>(task.id.value()));
+    auto trace = generate_task_arrivals(task, horizon, task_rng);
+    out.insert(out.end(), trace.begin(), trace.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const core::Arrival& a, const core::Arrival& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.task < b.task;
+                   });
+  return out;
+}
+
+double arrival_utilization(const sched::TaskSet& tasks,
+                           const std::vector<core::Arrival>& trace) {
+  double sum = 0;
+  for (const core::Arrival& a : trace) {
+    const sched::TaskSpec* spec = tasks.find(a.task);
+    assert(spec);
+    sum += spec->total_utilization();
+  }
+  return sum;
+}
+
+}  // namespace rtcm::workload

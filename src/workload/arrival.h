@@ -1,0 +1,33 @@
+// Arrival trace generation.
+//
+// Periodic tasks release jobs at k * period starting at time zero (so "all
+// tasks arrive simultaneously" at t = 0, the §7.1 calibration point).
+// Aperiodic tasks release jobs as a Poisson process: the first arrival at
+// time zero, then exponentially distributed gaps with the task's mean
+// interarrival time.  Traces are materialized up front so a run is fully
+// reproducible and replayable.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "sched/task.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace rtcm::workload {
+
+/// All job arrivals in [0, horizon), sorted by time (ties by task id).
+[[nodiscard]] std::vector<core::Arrival> generate_arrivals(
+    const sched::TaskSet& tasks, Time horizon, Rng& rng);
+
+/// Arrivals for a single task (helper for tests and custom scenarios).
+[[nodiscard]] std::vector<core::Arrival> generate_task_arrivals(
+    const sched::TaskSpec& task, Time horizon, Rng& rng);
+
+/// Total utilization-weighted arrival mass of a trace: the denominator of
+/// the accepted utilization ratio, computed offline.
+[[nodiscard]] double arrival_utilization(const sched::TaskSet& tasks,
+                                         const std::vector<core::Arrival>& trace);
+
+}  // namespace rtcm::workload

@@ -1,0 +1,190 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace rtcm::workload {
+
+namespace {
+
+std::vector<ProcessorId> make_processors(std::int32_t first, std::size_t n) {
+  std::vector<ProcessorId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ProcessorId(first + static_cast<std::int32_t>(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadShape random_workload_shape() {
+  WorkloadShape shape;
+  shape.primary_processors = make_processors(0, 5);
+  shape.replica_processors = {};  // any other primary processor
+  shape.periodic_tasks = 5;
+  shape.aperiodic_tasks = 4;
+  shape.min_subtasks = 1;
+  shape.max_subtasks = 5;
+  shape.per_processor_utilization = 0.5;
+  return shape;
+}
+
+WorkloadShape imbalanced_workload_shape() {
+  WorkloadShape shape;
+  shape.primary_processors = make_processors(0, 3);
+  shape.replica_processors = make_processors(3, 2);
+  shape.periodic_tasks = 5;
+  shape.aperiodic_tasks = 4;
+  shape.min_subtasks = 1;
+  shape.max_subtasks = 3;
+  shape.per_processor_utilization = 0.7;
+  return shape;
+}
+
+WorkloadShape overhead_workload_shape() {
+  WorkloadShape shape;
+  shape.primary_processors = make_processors(0, 3);
+  shape.replica_processors = {};
+  shape.periodic_tasks = 5;
+  shape.aperiodic_tasks = 4;
+  shape.min_subtasks = 1;
+  shape.max_subtasks = 3;
+  shape.per_processor_utilization = 0.5;
+  return shape;
+}
+
+sched::TaskSet generate_workload(const WorkloadShape& shape, Rng& rng) {
+  assert(!shape.primary_processors.empty());
+  assert(shape.min_subtasks >= 1);
+  assert(shape.max_subtasks >= shape.min_subtasks);
+  assert(shape.per_processor_utilization > 0.0 &&
+         shape.per_processor_utilization < 1.0);
+
+  struct ProtoTask {
+    sched::TaskKind kind;
+    Duration deadline;
+    std::vector<ProcessorId> stage_processor;
+  };
+
+  const std::size_t task_count = shape.periodic_tasks + shape.aperiodic_tasks;
+  std::vector<ProtoTask> protos(task_count);
+
+  // Interleave kinds so task ids don't correlate with kind (EDMS priorities
+  // are deadline-ranked anyway, but arrival traces index by id).
+  for (std::size_t i = 0; i < task_count; ++i) {
+    protos[i].kind = i < shape.periodic_tasks ? sched::TaskKind::kPeriodic
+                                              : sched::TaskKind::kAperiodic;
+    protos[i].deadline =
+        rng.uniform_duration(shape.min_deadline, shape.max_deadline);
+    const std::size_t stages = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(shape.min_subtasks),
+        static_cast<std::int64_t>(shape.max_subtasks)));
+    protos[i].stage_processor.resize(stages);
+    for (auto& proc : protos[i].stage_processor) {
+      proc = shape.primary_processors[rng.index(shape.primary_processors.size())];
+    }
+  }
+
+  // Repair pass: every primary processor must host at least one subtask so
+  // its utilization target is realizable.  Steal a stage from the busiest
+  // processor that can spare one.
+  std::map<ProcessorId, std::size_t> load;
+  for (const ProcessorId p : shape.primary_processors) load[p] = 0;
+  for (const auto& proto : protos) {
+    for (const ProcessorId p : proto.stage_processor) ++load[p];
+  }
+  for (const ProcessorId p : shape.primary_processors) {
+    if (load[p] > 0) continue;
+    ProcessorId busiest = shape.primary_processors.front();
+    for (const auto& [proc, n] : load) {
+      if (n > load[busiest]) busiest = proc;
+    }
+    if (load[busiest] <= 1) continue;  // nothing to spare; leave p empty
+    bool moved = false;
+    for (auto& proto : protos) {
+      for (auto& proc : proto.stage_processor) {
+        if (proc == busiest) {
+          proc = p;
+          --load[busiest];
+          ++load[p];
+          moved = true;
+          break;
+        }
+      }
+      if (moved) break;
+    }
+  }
+
+  // Split every processor's utilization target across the subtasks assigned
+  // to it.  (stage utilization u -> C = u * D of the owning task.)
+  struct StageRef {
+    std::size_t task;
+    std::size_t stage;
+  };
+  std::map<ProcessorId, std::vector<StageRef>> by_processor;
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    for (std::size_t j = 0; j < protos[i].stage_processor.size(); ++j) {
+      by_processor[protos[i].stage_processor[j]].push_back({i, j});
+    }
+  }
+  std::map<std::pair<std::size_t, std::size_t>, double> stage_utilization;
+  for (const auto& [proc, stages] : by_processor) {
+    const auto shares = rng.proportions(stages.size());
+    for (std::size_t k = 0; k < stages.size(); ++k) {
+      stage_utilization[{stages[k].task, stages[k].stage}] =
+          shares[k] * shape.per_processor_utilization;
+    }
+  }
+
+  sched::TaskSet set;
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const ProtoTask& proto = protos[i];
+    sched::TaskSpec spec;
+    spec.id = TaskId(static_cast<std::int32_t>(i));
+    spec.kind = proto.kind;
+    spec.name = std::string(proto.kind == sched::TaskKind::kPeriodic
+                                ? "periodic-"
+                                : "aperiodic-") +
+                std::to_string(i);
+    spec.deadline = proto.deadline;
+    if (proto.kind == sched::TaskKind::kPeriodic) {
+      spec.period = proto.deadline;  // periods equal deadlines (§7.1)
+    } else {
+      spec.mean_interarrival =
+          proto.deadline.scaled(shape.aperiodic_interarrival_factor);
+    }
+    for (std::size_t j = 0; j < proto.stage_processor.size(); ++j) {
+      sched::SubtaskSpec st;
+      st.primary = proto.stage_processor[j];
+      const double u = stage_utilization.at({i, j});
+      const std::int64_t exec_usec = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(u * static_cast<double>(
+                                               proto.deadline.usec()) +
+                                       0.5));
+      st.execution = Duration(exec_usec);
+
+      if (shape.replicate) {
+        // Duplicate on a different processor: from the replica group when
+        // one is configured, otherwise from the other primary processors.
+        std::vector<ProcessorId> candidates =
+            shape.replica_processors.empty() ? shape.primary_processors
+                                             : shape.replica_processors;
+        candidates.erase(
+            std::remove(candidates.begin(), candidates.end(), st.primary),
+            candidates.end());
+        if (!candidates.empty()) {
+          st.replicas.push_back(candidates[rng.index(candidates.size())]);
+        }
+      }
+      spec.subtasks.push_back(std::move(st));
+    }
+    const Status status = set.add(std::move(spec));
+    assert(status.is_ok());
+    (void)status;
+  }
+  return set;
+}
+
+}  // namespace rtcm::workload

@@ -1,0 +1,70 @@
+// Workload generators reproducing the paper's experimental setups.
+//
+// §7.1 random workloads: "10 sets of 9 tasks, each including 4 aperiodic
+// tasks and 5 periodic tasks.  The number of subtasks per task is uniformly
+// distributed between 1 and 5.  Subtasks are randomly assigned to 5
+// application processors.  Task deadlines are randomly chosen between 250 ms
+// and 10 s.  The periods of periodic tasks are equal to their deadlines.
+// The arrival of aperiodic tasks follows a Poisson distribution.  The
+// synthetic utilization of every processor is 0.5, if all tasks arrive
+// simultaneously.  Each subtask ... has a duplicate sitting on a different
+// processor which is randomly picked from the other 4 application
+// processors."
+//
+// §7.2 imbalanced workloads: 3 processors host all primaries at synthetic
+// utilization 0.7 each, 2 processors host all duplicates, subtasks per task
+// uniform between 1 and 3.
+//
+// The generator first assigns subtasks to processors, then splits each
+// processor's utilization target across the subtasks landing on it (uniform
+// simplex split) and derives execution times as C = u * D — so the
+// "synthetic utilization if all tasks arrive simultaneously" calibration
+// holds exactly by construction.
+#pragma once
+
+#include "sched/task.h"
+#include "util/rng.h"
+
+namespace rtcm::workload {
+
+/// Fully general workload shape; the §7.1 / §7.2 / §7.3 presets below fill
+/// this in.
+struct WorkloadShape {
+  /// Processors that host primary subtasks.
+  std::vector<ProcessorId> primary_processors;
+  /// Candidate processors for duplicates; when empty, duplicates land on
+  /// any other primary processor.
+  std::vector<ProcessorId> replica_processors;
+  std::size_t periodic_tasks = 5;
+  std::size_t aperiodic_tasks = 4;
+  std::size_t min_subtasks = 1;
+  std::size_t max_subtasks = 5;
+  Duration min_deadline = Duration::milliseconds(250);
+  Duration max_deadline = Duration::seconds(10);
+  /// Synthetic utilization target per primary processor if every task
+  /// released one job simultaneously.
+  double per_processor_utilization = 0.5;
+  /// Give every subtask one duplicate (criterion C3).
+  bool replicate = true;
+  /// Mean interarrival of an aperiodic task = factor * its deadline.
+  double aperiodic_interarrival_factor = 1.0;
+};
+
+/// Generate a task set; deterministic in `rng`.  Guarantees every primary
+/// processor hosts at least one subtask (so the utilization target is met on
+/// all of them) as long as there are at least as many subtasks in total.
+[[nodiscard]] sched::TaskSet generate_workload(const WorkloadShape& shape,
+                                               Rng& rng);
+
+/// §7.1 preset: 5 processors P0..P4, 5 periodic + 4 aperiodic tasks, 1-5
+/// subtasks, utilization 0.5, duplicates anywhere else.
+[[nodiscard]] WorkloadShape random_workload_shape();
+
+/// §7.2 preset: primaries on P0..P2 at utilization 0.7, duplicates on
+/// P3..P4, 1-3 subtasks per task.
+[[nodiscard]] WorkloadShape imbalanced_workload_shape();
+
+/// §7.3 preset (overhead runs): 3 application processors, 1-3 subtasks.
+[[nodiscard]] WorkloadShape overhead_workload_shape();
+
+}  // namespace rtcm::workload

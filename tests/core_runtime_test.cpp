@@ -1,0 +1,133 @@
+// Strategy-matrix tests: every valid combination must run a realistic
+// workload cleanly; the three invalid combinations must be refused.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/runtime.h"
+#include "workload/arrival.h"
+#include "workload/generator.h"
+
+namespace rtcm::core {
+namespace {
+
+struct ComboParam {
+  std::string label;
+};
+
+void PrintTo(const ComboParam& p, std::ostream* os) { *os << p.label; }
+
+class ValidComboTest : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(ValidComboTest, RunsRandomWorkloadCleanly) {
+  Rng rng(7);
+  auto shape = workload::random_workload_shape();
+  auto tasks = workload::generate_workload(shape, rng);
+
+  SystemConfig config;
+  config.strategies = StrategyCombination::parse(GetParam().label).value();
+  // Zero latency: the AUB admission guarantee is exact, so every released
+  // job must meet its end-to-end deadline.
+  config.comm_latency = Duration::zero();
+  SystemRuntime runtime(config, std::move(tasks));
+  ASSERT_TRUE(runtime.assemble().is_ok());
+
+  Rng arrival_rng = rng.fork(1);
+  const Time horizon(Duration::seconds(30).usec());
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  runtime.run_until(horizon + Duration::seconds(15));
+
+  const auto& total = runtime.metrics().total();
+  EXPECT_GT(total.arrivals, 0u);
+  EXPECT_GT(total.releases, 0u);
+  EXPECT_EQ(total.releases, total.completions);
+  EXPECT_EQ(total.deadline_misses, 0u)
+      << "AUB admission must guarantee deadlines at zero network latency";
+  const double ratio = runtime.metrics().accepted_utilization_ratio();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0 + 1e-9);
+  // Conservation: every arrival is either released or rejected.
+  EXPECT_EQ(total.arrivals, total.releases + total.rejections);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllValid, ValidComboTest,
+    ::testing::Values(ComboParam{"T_N_N"}, ComboParam{"T_N_T"},
+                      ComboParam{"T_N_J"}, ComboParam{"T_T_N"},
+                      ComboParam{"T_T_T"}, ComboParam{"T_T_J"},
+                      ComboParam{"J_N_N"}, ComboParam{"J_N_T"},
+                      ComboParam{"J_N_J"}, ComboParam{"J_T_N"},
+                      ComboParam{"J_T_T"}, ComboParam{"J_T_J"},
+                      ComboParam{"J_J_N"}, ComboParam{"J_J_T"},
+                      ComboParam{"J_J_J"}),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return info.param.label;
+    });
+
+class InvalidComboTest : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(InvalidComboTest, AssemblyRefused) {
+  Rng rng(7);
+  auto tasks = workload::generate_workload(workload::random_workload_shape(),
+                                           rng);
+  SystemConfig config;
+  config.strategies = StrategyCombination::parse(GetParam().label).value();
+  SystemRuntime runtime(config, std::move(tasks));
+  const Status s = runtime.assemble();
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("contradictory"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInvalid, InvalidComboTest,
+    ::testing::Values(ComboParam{"T_J_N"}, ComboParam{"T_J_T"},
+                      ComboParam{"T_J_J"}),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return info.param.label;
+    });
+
+// Determinism: identical seeds and configuration give identical metrics.
+TEST(RuntimeDeterminismTest, SameSeedSameOutcome) {
+  auto run_once = [] {
+    Rng rng(11);
+    auto tasks = workload::generate_workload(
+        workload::random_workload_shape(), rng);
+    SystemConfig config;
+    config.strategies = StrategyCombination::parse("J_J_J").value();
+    SystemRuntime runtime(config, std::move(tasks));
+    EXPECT_TRUE(runtime.assemble().is_ok());
+    Rng arrival_rng = rng.fork(1);
+    const Time horizon(Duration::seconds(20).usec());
+    runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    runtime.run_until(horizon + Duration::seconds(15));
+    return std::tuple{runtime.metrics().accepted_utilization_ratio(),
+                      runtime.metrics().total().releases,
+                      runtime.metrics().total().rejections,
+                      runtime.admission_control()->counters().admission_tests};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// With realistic network latency the generous paper-scale deadlines
+// (>= 250 ms) still leave admitted jobs meeting deadlines.
+TEST(RuntimeLatencyTest, PaperLatencyDoesNotCauseMisses) {
+  Rng rng(13);
+  auto tasks = workload::generate_workload(workload::random_workload_shape(),
+                                           rng);
+  SystemConfig config;
+  config.strategies = StrategyCombination::parse("J_J_J").value();
+  config.comm_latency = sim::Network::kPaperOneWayDelay;
+  SystemRuntime runtime(config, std::move(tasks));
+  ASSERT_TRUE(runtime.assemble().is_ok());
+  Rng arrival_rng = rng.fork(1);
+  const Time horizon(Duration::seconds(30).usec());
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  runtime.run_until(horizon + Duration::seconds(15));
+  EXPECT_EQ(runtime.metrics().total().deadline_misses, 0u);
+}
+
+}  // namespace
+}  // namespace rtcm::core

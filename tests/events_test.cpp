@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "events/event.h"
+#include "events/federated_channel.h"
+#include "events/local_channel.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace rtcm::events {
+namespace {
+
+Event make_trigger(ProcessorId source, TaskId task, std::size_t stage,
+                   std::vector<ProcessorId> placement) {
+  return Event{source, Time(0),
+               TriggerPayload{task, JobId(1), stage, std::move(placement),
+                              Time(1000000), Time(0)}};
+}
+
+// --- Event --------------------------------------------------------------------
+
+TEST(EventTest, TypeFromPayload) {
+  Event e{ProcessorId(0), Time(0),
+          TaskArrivePayload{TaskId(1), JobId(2), ProcessorId(0), Time(0), true}};
+  EXPECT_EQ(e.type(), EventType::kTaskArrive);
+  e.payload = AcceptPayload{};
+  EXPECT_EQ(e.type(), EventType::kAccept);
+  e.payload = RejectPayload{};
+  EXPECT_EQ(e.type(), EventType::kReject);
+  e.payload = TriggerPayload{};
+  EXPECT_EQ(e.type(), EventType::kTrigger);
+  e.payload = IdleResetPayload{};
+  EXPECT_EQ(e.type(), EventType::kIdleReset);
+}
+
+TEST(EventTest, PayloadAs) {
+  const Event e{ProcessorId(3), Time(5),
+                TaskArrivePayload{TaskId(1), JobId(2), ProcessorId(3), Time(5),
+                                  false}};
+  const auto& p = payload_as<TaskArrivePayload>(e);
+  EXPECT_EQ(p.task, TaskId(1));
+  EXPECT_EQ(p.job, JobId(2));
+}
+
+TEST(EventTest, ToStringMentionsTypeAndIds) {
+  const Event e{ProcessorId(3), Time(5),
+                TaskArrivePayload{TaskId(1), JobId(2), ProcessorId(3), Time(5),
+                                  false}};
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("TaskArrive"), std::string::npos);
+  EXPECT_NE(s.find("T1"), std::string::npos);
+  EXPECT_NE(s.find("J2"), std::string::npos);
+}
+
+TEST(EventTypeSetTest, Contains) {
+  const EventTypeSet set{EventType::kAccept, EventType::kReject};
+  EXPECT_TRUE(set.contains(EventType::kAccept));
+  EXPECT_TRUE(set.contains(EventType::kReject));
+  EXPECT_FALSE(set.contains(EventType::kTrigger));
+  EXPECT_FALSE(EventTypeSet{}.contains(EventType::kAccept));
+}
+
+// --- LocalEventChannel -----------------------------------------------------------
+
+TEST(LocalChannelTest, DeliversToMatchingType) {
+  LocalEventChannel channel(ProcessorId(0));
+  int hits = 0;
+  channel.subscribe({EventType::kTrigger}, [&](const Event&) { ++hits; });
+  channel.deliver(make_trigger(ProcessorId(0), TaskId(1), 0, {ProcessorId(0)}));
+  channel.deliver(Event{ProcessorId(0), Time(0), AcceptPayload{}});
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(channel.delivered_count(), 1u);
+}
+
+TEST(LocalChannelTest, FilterNarrowsDelivery) {
+  LocalEventChannel channel(ProcessorId(0));
+  int hits = 0;
+  channel.subscribe(
+      {EventType::kTrigger}, [&](const Event&) { ++hits; },
+      [](const Event& e) {
+        return payload_as<TriggerPayload>(e).task == TaskId(7);
+      });
+  channel.deliver(make_trigger(ProcessorId(0), TaskId(7), 0, {ProcessorId(0)}));
+  channel.deliver(make_trigger(ProcessorId(0), TaskId(8), 0, {ProcessorId(0)}));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(LocalChannelTest, MatchesQueriesWithoutDelivering) {
+  LocalEventChannel channel(ProcessorId(0));
+  channel.subscribe({EventType::kAccept}, [](const Event&) {});
+  EXPECT_TRUE(channel.matches(Event{ProcessorId(0), Time(0), AcceptPayload{}}));
+  EXPECT_FALSE(
+      channel.matches(Event{ProcessorId(0), Time(0), RejectPayload{}}));
+  EXPECT_EQ(channel.delivered_count(), 0u);
+}
+
+TEST(LocalChannelTest, MultipleConsumersInSubscriptionOrder) {
+  LocalEventChannel channel(ProcessorId(0));
+  std::vector<int> order;
+  channel.subscribe({EventType::kAccept}, [&](const Event&) { order.push_back(1); });
+  channel.subscribe({EventType::kAccept}, [&](const Event&) { order.push_back(2); });
+  channel.deliver(Event{ProcessorId(0), Time(0), AcceptPayload{}});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(LocalChannelTest, Unsubscribe) {
+  LocalEventChannel channel(ProcessorId(0));
+  int hits = 0;
+  const auto id =
+      channel.subscribe({EventType::kAccept}, [&](const Event&) { ++hits; });
+  EXPECT_EQ(channel.subscription_count(), 1u);
+  EXPECT_TRUE(channel.unsubscribe(id));
+  EXPECT_FALSE(channel.unsubscribe(id));
+  channel.deliver(Event{ProcessorId(0), Time(0), AcceptPayload{}});
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(LocalChannelTest, ConsumerMaySubscribeDuringDelivery) {
+  LocalEventChannel channel(ProcessorId(0));
+  int late_hits = 0;
+  channel.subscribe({EventType::kAccept}, [&](const Event&) {
+    channel.subscribe({EventType::kAccept},
+                      [&](const Event&) { ++late_hits; });
+  });
+  channel.deliver(Event{ProcessorId(0), Time(0), AcceptPayload{}});
+  // The subscription created during delivery must not receive the event
+  // that triggered it.
+  EXPECT_EQ(late_hits, 0);
+  channel.deliver(Event{ProcessorId(0), Time(0), AcceptPayload{}});
+  EXPECT_EQ(late_hits, 1);
+}
+
+// --- FederatedEventChannel --------------------------------------------------------
+
+class FederationFixture : public ::testing::Test {
+ protected:
+  FederationFixture()
+      : network_(sim_, std::make_unique<sim::ConstantLatency>(
+                           Duration(322), Duration::zero())),
+        federation_(sim_, network_) {}
+
+  sim::Simulator sim_;
+  sim::Network network_;
+  FederatedEventChannel federation_;
+};
+
+TEST_F(FederationFixture, RoutesOnlyToInterestedChannels) {
+  int p1_hits = 0;
+  int p2_hits = 0;
+  federation_.channel(ProcessorId(1))
+      .subscribe({EventType::kTrigger}, [&](const Event&) { ++p1_hits; });
+  federation_.channel(ProcessorId(2))
+      .subscribe({EventType::kAccept}, [&](const Event&) { ++p2_hits; });
+
+  federation_.push(ProcessorId(0),
+                   TriggerPayload{TaskId(1), JobId(1), 0,
+                                  {ProcessorId(1)}, Time(1000), Time(0)});
+  sim_.run_all();
+  EXPECT_EQ(p1_hits, 1);
+  EXPECT_EQ(p2_hits, 0);
+  EXPECT_EQ(federation_.stats().events_pushed, 1u);
+  EXPECT_EQ(federation_.stats().remote_deliveries, 1u);
+  // Only one network message: the gateway filtered P2 out at the source.
+  EXPECT_EQ(network_.stats().messages_sent, 1u);
+}
+
+TEST_F(FederationFixture, RemoteDeliveryIncursLatency) {
+  Time delivered;
+  federation_.channel(ProcessorId(1))
+      .subscribe({EventType::kAccept},
+                 [&](const Event&) { delivered = sim_.now(); });
+  federation_.push(ProcessorId(0),
+                   AcceptPayload{TaskId(1), JobId(1), ProcessorId(1),
+                                 {ProcessorId(1)}, Time(99), false});
+  sim_.run_all();
+  EXPECT_EQ(delivered, Time(322));
+}
+
+TEST_F(FederationFixture, LocalDeliveryUsesLoopback) {
+  Time delivered;
+  federation_.channel(ProcessorId(0))
+      .subscribe({EventType::kAccept},
+                 [&](const Event&) { delivered = sim_.now(); });
+  federation_.push(ProcessorId(0),
+                   AcceptPayload{TaskId(1), JobId(1), ProcessorId(0),
+                                 {ProcessorId(0)}, Time(99), false});
+  sim_.run_all();
+  EXPECT_EQ(delivered, Time(0));  // loopback latency configured as zero
+  EXPECT_EQ(federation_.stats().local_deliveries, 1u);
+}
+
+TEST_F(FederationFixture, FanOutToMultipleProcessors) {
+  int hits = 0;
+  for (int p = 1; p <= 3; ++p) {
+    federation_.channel(ProcessorId(p))
+        .subscribe({EventType::kIdleReset}, [&](const Event&) { ++hits; });
+  }
+  federation_.push(ProcessorId(0), IdleResetPayload{ProcessorId(0), {}});
+  sim_.run_all();
+  EXPECT_EQ(hits, 3);
+  EXPECT_EQ(network_.stats().messages_sent, 3u);
+}
+
+TEST_F(FederationFixture, PublishedTimestampIsPushTime) {
+  Time published;
+  federation_.channel(ProcessorId(1))
+      .subscribe({EventType::kAccept},
+                 [&](const Event& e) { published = e.published; });
+  sim_.schedule_at(Time(500), [&] {
+    federation_.push(ProcessorId(0),
+                     AcceptPayload{TaskId(1), JobId(1), ProcessorId(1),
+                                   {ProcessorId(1)}, Time(99), false});
+  });
+  sim_.run_all();
+  EXPECT_EQ(published, Time(500));
+}
+
+TEST_F(FederationFixture, ChannelCreatedOnDemand) {
+  EXPECT_EQ(federation_.channel_count(), 0u);
+  federation_.channel(ProcessorId(4));
+  federation_.channel(ProcessorId(4));
+  EXPECT_EQ(federation_.channel_count(), 1u);
+}
+
+TEST(EventTypeNamesTest, AllNamed) {
+  EXPECT_STREQ(to_string(EventType::kTaskArrive), "TaskArrive");
+  EXPECT_STREQ(to_string(EventType::kAccept), "Accept");
+  EXPECT_STREQ(to_string(EventType::kReject), "Reject");
+  EXPECT_STREQ(to_string(EventType::kTrigger), "Trigger");
+  EXPECT_STREQ(to_string(EventType::kIdleReset), "IdleReset");
+}
+
+}  // namespace
+}  // namespace rtcm::events

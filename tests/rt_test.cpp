@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rt/loopback.h"
+#include "rt/overhead_harness.h"
+#include "rt/stopwatch.h"
+
+namespace rtcm::rt {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double us = sw.elapsed_us();
+  EXPECT_GE(us, 4000.0);
+  EXPECT_LT(us, 500000.0);  // sanity upper bound
+  EXPECT_GE(sw.elapsed(), Duration::milliseconds(4));
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  sw.restart();
+  EXPECT_LT(sw.elapsed_us(), 3000.0);
+}
+
+TEST(StopwatchTest, TimeCallMeasuresClosure) {
+  const double us = time_call_us(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); });
+  EXPECT_GE(us, 1500.0);
+}
+
+TEST(LoopbackTest, ProducesPlausibleDelays) {
+  const auto result = measure_loopback_delay(200);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_EQ(result.value().one_way_us.count(), 200u);
+  EXPECT_GT(result.value().mean_us(), 0.0);
+  EXPECT_GE(result.value().max_us(), result.value().mean_us());
+  // A kernel-mediated round trip on loopback is far below the paper's
+  // 100 Mbps-Ethernet 322 us, but must be a real nonzero cost.
+  EXPECT_LT(result.value().mean_us(), 10000.0);
+}
+
+TEST(OverheadHarnessTest, AllOperationsMeasured) {
+  OverheadParams params;
+  params.iterations = 50;  // keep the test fast
+  const OverheadReport report = measure_overheads(params);
+  EXPECT_EQ(report.op1_hold_push.count(), 50u);
+  EXPECT_EQ(report.op3_plan.count(), 50u);
+  EXPECT_EQ(report.op4_admission_test.count(), 50u);
+  EXPECT_EQ(report.op5_release_local.count(), 50u);
+  EXPECT_EQ(report.op6_release_remote.count(), 50u);
+  EXPECT_EQ(report.op7_ir_report.count(), 50u);
+  EXPECT_EQ(report.op8_update_utilization.count(), 50u);
+  EXPECT_GT(report.comm_one_way.count(), 0u);
+
+  // Wall-clock costs are positive and sane (< 10 ms per op on any machine).
+  for (const Samples* s :
+       {&report.op1_hold_push, &report.op3_plan, &report.op4_admission_test,
+        &report.op5_release_local, &report.op6_release_remote,
+        &report.op7_ir_report, &report.op8_update_utilization}) {
+    EXPECT_GE(s->mean(), 0.0);
+    EXPECT_LT(s->mean(), 10000.0);
+    EXPECT_GE(s->max(), s->mean());
+  }
+}
+
+TEST(OverheadHarnessTest, Figure8RowsComposeCorrectly) {
+  OverheadParams params;
+  params.iterations = 20;
+  const OverheadReport report = measure_overheads(params);
+  const auto rows = report.figure8_rows(322.0, 361.0);
+  ASSERT_EQ(rows.size(), 8u);
+
+  EXPECT_EQ(rows[0].name, "AC without LB");
+  EXPECT_NEAR(rows[0].mean_us,
+              report.op1_hold_push.mean() + 2 * 322.0 +
+                  report.op4_admission_test.mean() +
+                  report.op5_release_local.mean(),
+              1e-9);
+  EXPECT_EQ(rows[5].name, "IR (on AC side)");
+  EXPECT_NEAR(rows[5].mean_us, report.op8_update_utilization.mean(), 1e-9);
+  EXPECT_EQ(rows[6].name, "IR (other part)");
+  EXPECT_NEAR(rows[6].mean_us, report.op7_ir_report.mean() + 322.0, 1e-9);
+  EXPECT_EQ(rows[7].name, "Communication Delay");
+  EXPECT_DOUBLE_EQ(rows[7].mean_us, 322.0);
+
+  // With the paper's communication constant, service delays sit in the
+  // paper's regime: under 2 ms ("acceptable for many distributed CPS").
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GT(rows[i].mean_us, 2 * 322.0);
+    EXPECT_LT(rows[i].mean_us, 2000.0) << rows[i].name;
+  }
+
+  // Re-allocation rows cost at least as much as their no-re-allocation
+  // counterparts (releasing the duplicate includes the same dispatch work).
+  EXPECT_NEAR(rows[1].mean_us, rows[3].mean_us, 1e-9);
+  EXPECT_NEAR(rows[2].mean_us, rows[4].mean_us, 1e-9);
+}
+
+TEST(OverheadHarnessTest, MeasuredRowsUseLoopbackDelay) {
+  OverheadParams params;
+  params.iterations = 20;
+  const OverheadReport report = measure_overheads(params);
+  const auto rows = report.figure8_rows_measured();
+  ASSERT_EQ(rows.size(), 8u);
+  EXPECT_DOUBLE_EQ(rows[7].mean_us, report.comm_one_way.mean());
+}
+
+}  // namespace
+}  // namespace rtcm::rt

@@ -1,0 +1,144 @@
+// Direct unit tests of the admission controller's book of record.
+#include <gtest/gtest.h>
+
+#include "core/scheduling_state.h"
+#include "test_helpers.h"
+
+namespace rtcm::core {
+namespace {
+
+using rtcm::testing::make_aperiodic;
+using rtcm::testing::make_periodic;
+
+sched::TaskSpec two_stage_task(std::int32_t id = 0) {
+  // 100 ms deadline, stages of 20 ms (u=0.2) on P0 and 10 ms (u=0.1) on P1.
+  return make_periodic(id, Duration::milliseconds(100),
+                       {{0, 20000}, {1, 10000}});
+}
+
+TEST(SchedulingStateTest, AdmitJobAddsStageContributions) {
+  SchedulingState state;
+  const auto task = two_stage_task();
+  state.admit_job(task, JobId(1), {ProcessorId(0), ProcessorId(1)},
+                  Time(100000));
+  EXPECT_TRUE(state.has_job(JobId(1)));
+  EXPECT_EQ(state.active_jobs(), 1u);
+  EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.2, 1e-12);
+  EXPECT_NEAR(state.ledger().total(ProcessorId(1)), 0.1, 1e-12);
+  ASSERT_NE(state.job(JobId(1)), nullptr);
+  EXPECT_EQ(state.job(JobId(1))->absolute_deadline, Time(100000));
+}
+
+TEST(SchedulingStateTest, AdmitJobHonoursAlternatePlacement) {
+  SchedulingState state;
+  const auto task = two_stage_task();
+  // Both stages re-allocated to P5/P6.
+  state.admit_job(task, JobId(1), {ProcessorId(5), ProcessorId(6)},
+                  Time(100000));
+  EXPECT_NEAR(state.ledger().total(ProcessorId(5)), 0.2, 1e-12);
+  EXPECT_NEAR(state.ledger().total(ProcessorId(6)), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(0)), 0.0);
+}
+
+TEST(SchedulingStateTest, ExpireJobRemovesEverything) {
+  SchedulingState state;
+  state.admit_job(two_stage_task(), JobId(1),
+                  {ProcessorId(0), ProcessorId(1)}, Time(100000));
+  state.expire_job(JobId(1));
+  EXPECT_FALSE(state.has_job(JobId(1)));
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(1)), 0.0);
+  // Idempotent.
+  state.expire_job(JobId(1));
+  EXPECT_EQ(state.active_jobs(), 0u);
+}
+
+TEST(SchedulingStateTest, ResetSubjobRemovesOnlyThatStage) {
+  SchedulingState state;
+  state.admit_job(two_stage_task(), JobId(1),
+                  {ProcessorId(0), ProcessorId(1)}, Time(100000));
+  EXPECT_TRUE(state.reset_subjob(JobId(1), 0));
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(0)), 0.0);
+  EXPECT_NEAR(state.ledger().total(ProcessorId(1)), 0.1, 1e-12);
+  // Second reset of the same stage is a no-op.
+  EXPECT_FALSE(state.reset_subjob(JobId(1), 0));
+  // The job is still tracked until expiry.
+  EXPECT_TRUE(state.has_job(JobId(1)));
+  // Expiry removes the remaining stage only.
+  state.expire_job(JobId(1));
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(1)), 0.0);
+}
+
+TEST(SchedulingStateTest, ResetUnknownJobOrStage) {
+  SchedulingState state;
+  EXPECT_FALSE(state.reset_subjob(JobId(9), 0));
+  state.admit_job(two_stage_task(), JobId(1),
+                  {ProcessorId(0), ProcessorId(1)}, Time(100000));
+  EXPECT_FALSE(state.reset_subjob(JobId(1), 7));  // out-of-range stage
+}
+
+TEST(SchedulingStateTest, ReservationsAreImmuneToJobOperations) {
+  SchedulingState state;
+  const auto task = two_stage_task();
+  state.reserve_task(task, {ProcessorId(0), ProcessorId(1)});
+  EXPECT_TRUE(state.is_reserved(TaskId(0)));
+  EXPECT_EQ(state.reservation_count(), 1u);
+  // Job-level operations must not touch the reservation.
+  EXPECT_FALSE(state.reset_subjob(JobId(0), 0));
+  state.expire_job(JobId(0));
+  EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.2, 1e-12);
+  ASSERT_NE(state.reservation(TaskId(0)), nullptr);
+  EXPECT_EQ(state.reservation(TaskId(0))->placement[1], ProcessorId(1));
+}
+
+TEST(SchedulingStateTest, ReleaseReservationReturnsPlacementAndFrees) {
+  SchedulingState state;
+  const auto task = two_stage_task();
+  state.reserve_task(task, {ProcessorId(3), ProcessorId(4)});
+  const auto placement = state.release_reservation(task);
+  EXPECT_EQ(placement,
+            (std::vector<ProcessorId>{ProcessorId(3), ProcessorId(4)}));
+  EXPECT_FALSE(state.is_reserved(TaskId(0)));
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(3)), 0.0);
+  EXPECT_DOUBLE_EQ(state.ledger().total(ProcessorId(4)), 0.0);
+}
+
+TEST(SchedulingStateTest, FootprintsCoverJobsAndReservations) {
+  SchedulingState state;
+  state.admit_job(two_stage_task(0), JobId(1),
+                  {ProcessorId(0), ProcessorId(1)}, Time(100000));
+  state.reserve_task(two_stage_task(1), {ProcessorId(2), ProcessorId(3)});
+  const auto footprints = state.current_footprints();
+  ASSERT_EQ(footprints.size(), 2u);
+  EXPECT_EQ(footprints[0].task, TaskId(0));
+  EXPECT_EQ(footprints[0].processors,
+            (std::vector<ProcessorId>{ProcessorId(0), ProcessorId(1)}));
+  EXPECT_EQ(footprints[1].task, TaskId(1));
+}
+
+TEST(SchedulingStateTest, BackgroundLoadHasNoFootprint) {
+  SchedulingState state;
+  state.add_background(ProcessorId(0), 0.4);
+  EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.4, 1e-12);
+  EXPECT_TRUE(state.current_footprints().empty());
+}
+
+TEST(SchedulingStateTest, ManyConcurrentJobsOfOneTask) {
+  // Aperiodic bursts put several jobs of the same task in flight at once;
+  // each must carry independent contributions.
+  SchedulingState state;
+  const auto task = make_aperiodic(0, Duration::milliseconds(100),
+                                   {{0, 10000}});
+  for (int k = 0; k < 5; ++k) {
+    state.admit_job(task, JobId(k), {ProcessorId(0)},
+                    Time(100000 + k));
+  }
+  EXPECT_EQ(state.active_jobs(), 5u);
+  EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.5, 1e-12);
+  state.expire_job(JobId(2));
+  EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.4, 1e-12);
+  EXPECT_EQ(state.current_footprints().size(), 4u);
+}
+
+}  // namespace
+}  // namespace rtcm::core

@@ -1,0 +1,54 @@
+// Shared helpers for the rtcm test suite.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sched/task.h"
+#include "util/time.h"
+
+namespace rtcm::testing {
+
+struct StageSpec {
+  std::int32_t primary;
+  std::int64_t exec_usec;
+  std::vector<std::int32_t> replicas = {};
+};
+
+/// Compact task-spec builder for tests.
+inline sched::TaskSpec make_task(std::int32_t id, sched::TaskKind kind,
+                                 Duration deadline,
+                                 const std::vector<StageSpec>& stages) {
+  sched::TaskSpec spec;
+  spec.id = TaskId(id);
+  spec.name = "test-task-" + std::to_string(id);
+  spec.kind = kind;
+  spec.deadline = deadline;
+  if (kind == sched::TaskKind::kPeriodic) {
+    spec.period = deadline;
+  } else {
+    spec.mean_interarrival = deadline;
+  }
+  for (const StageSpec& s : stages) {
+    sched::SubtaskSpec st;
+    st.primary = ProcessorId(s.primary);
+    st.execution = Duration(s.exec_usec);
+    for (const std::int32_t r : s.replicas) {
+      st.replicas.push_back(ProcessorId(r));
+    }
+    spec.subtasks.push_back(std::move(st));
+  }
+  return spec;
+}
+
+inline sched::TaskSpec make_periodic(std::int32_t id, Duration deadline,
+                                     const std::vector<StageSpec>& stages) {
+  return make_task(id, sched::TaskKind::kPeriodic, deadline, stages);
+}
+
+inline sched::TaskSpec make_aperiodic(std::int32_t id, Duration deadline,
+                                      const std::vector<StageSpec>& stages) {
+  return make_task(id, sched::TaskKind::kAperiodic, deadline, stages);
+}
+
+}  // namespace rtcm::testing
