@@ -7,7 +7,7 @@
 //   4. inject job arrivals and run,
 //   5. read the metrics.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 #include <cstdio>
 
 #include "core/runtime.h"

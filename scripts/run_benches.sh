@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run every self-timed benchmark binary (the paper-figure reproductions and
+# ablations) from an existing build tree.  Pass-through arguments go to each
+# bench, e.g. `scripts/run_benches.sh --seeds 3` for a quick pass.
+#
+# Usage: scripts/run_benches.sh [--build-dir DIR] [bench args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="build"
+if [[ "${1:-}" == "--build-dir" ]]; then
+  BUILD_DIR="$2"
+  shift 2
+fi
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "build tree '${BUILD_DIR}' not found; run scripts/verify.sh first" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+for bench in "${BUILD_DIR}"/bench_*; do
+  [[ -x "${bench}" ]] || continue
+  echo "== ${bench##*/} =="
+  case "${bench##*/}" in
+    # Google-Benchmark binaries reject the self-timed benches' flags
+    # (and exit 1 on unknown ones); run them with their own defaults.
+    bench_admission_micro) "${bench}" ;;
+    *) "${bench}" "$@" ;;
+  esac
+  echo
+done

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (library with -Werror),
+# and run the full ctest suite.  This is the gate every change must pass.
+#
+# Usage: scripts/verify.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure (${BUILD_DIR}, -Werror on rtcm) =="
+cmake -B "${BUILD_DIR}" -S . -DRTCM_WERROR=ON
+
+echo "== build (all test / bench / example targets) =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== OK =="

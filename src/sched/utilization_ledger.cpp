@@ -11,6 +11,7 @@ ContributionId UtilizationLedger::add(ProcessorId proc, double amount) {
   const std::uint64_t id = next_id_++;
   entries_.emplace(id, Entry{proc, amount});
   totals_[proc] += amount;
+  ++live_counts_[proc];
   return ContributionId(id);
 }
 
@@ -18,10 +19,15 @@ bool UtilizationLedger::remove(ContributionId id) {
   if (!id.valid()) return false;
   const auto it = entries_.find(id.v_);
   if (it == entries_.end()) return false;
-  auto& total = totals_[it->second.proc];
+  const ProcessorId proc = it->second.proc;
+  auto& total = totals_[proc];
   total -= it->second.amount;
-  // Guard against accumulated floating-point drift producing tiny negatives.
-  if (total < 0.0) total = 0.0;
+  // Guard against accumulated floating-point drift: totals never go
+  // negative, and a processor whose last live contribution is removed is
+  // snapped to exactly zero (drift residue would otherwise leak into later
+  // admission tests and quiescence checks).
+  const std::size_t remaining = --live_counts_[proc];
+  if (remaining == 0 || total < 0.0) total = 0.0;
   entries_.erase(it);
   return true;
 }

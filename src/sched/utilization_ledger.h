@@ -63,6 +63,9 @@ class UtilizationLedger {
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::unordered_map<ProcessorId, double> totals_;
+  /// Live contributions per processor, so totals snap to exactly zero when
+  /// the last one is removed (no floating-point residue).
+  std::unordered_map<ProcessorId, std::size_t> live_counts_;
 };
 
 }  // namespace rtcm::sched

@@ -507,5 +507,51 @@ TEST(MetricsTest, RenderContainsHeadlineNumbers) {
   EXPECT_NE(text.find("T0"), std::string::npos);
 }
 
+// --- AC counter conservation under bursty overload ------------------------------------
+
+TEST(AcCountersTest, CountersPartitionArrivalsUnderBursts) {
+  // Every arrival reaching the AC is exactly one of: freshly tested and
+  // admitted, freshly tested and rejected, or auto-accepted off a standing
+  // reservation.  A bursty aperiodic storm on top of a periodic task (AC per
+  // Task: tested once, then auto-accepted) must keep that partition exact.
+  // LB per Job makes the TE forward *every* arrival to the AC (under LB=N
+  // it releases admitted periodic jobs locally, bypassing the counters).
+  TaskSet set;
+  ASSERT_TRUE(set.add(make_periodic(0, Duration::milliseconds(200),
+                                    {{0, 20000}}))
+                  .is_ok());
+  ASSERT_TRUE(set.add(make_aperiodic(1, Duration::milliseconds(250),
+                                     {{1, 30000}}))
+                  .is_ok());
+  auto rt = make_runtime("T_T_J", std::move(set));
+  // Periodic background...
+  for (int k = 0; k < 10; ++k) {
+    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(200 * k).usec()));
+  }
+  // ...plus aperiodic bursts.
+  rtcm::testing::BurstShape burst;
+  burst.bursts = 2;
+  burst.jobs_per_burst = 20;
+  burst.intra_gap = Duration::milliseconds(1);
+  burst.inter_gap = Duration::seconds(1);
+  rt->inject_arrivals(rtcm::testing::make_bursty_arrivals(TaskId(1), burst));
+  rt->run_until(Time(Duration::seconds(4).usec()));
+
+  const auto& counters = rt->admission_control()->counters();
+  const auto& total = rt->metrics().total();
+  EXPECT_EQ(total.arrivals, 50u);
+  // `admits` counts every accept (auto-accepts included), so admits and
+  // rejects partition the arrivals exactly.
+  EXPECT_EQ(counters.admits + counters.rejects, total.arrivals);
+  EXPECT_EQ(counters.admits, total.releases);
+  EXPECT_EQ(counters.rejects, total.rejections);
+  // The periodic task was tested exactly once (AC per Task); every
+  // aperiodic arrival was tested individually.
+  EXPECT_EQ(counters.admission_tests, 1u + 40u);
+  EXPECT_EQ(counters.auto_accepts, 9u);
+  EXPECT_GT(counters.rejects, 0u);
+  EXPECT_EQ(total.deadline_misses, 0u);
+}
+
 }  // namespace
 }  // namespace rtcm::core

@@ -2,9 +2,11 @@
 // workload cleanly; the three invalid combinations must be refused.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "core/runtime.h"
+#include "test_helpers.h"
 #include "workload/arrival.h"
 #include "workload/generator.h"
 
@@ -127,6 +129,44 @@ TEST(RuntimeLatencyTest, PaperLatencyDoesNotCauseMisses) {
       workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
   runtime.run_until(horizon + Duration::seconds(15));
   EXPECT_EQ(runtime.metrics().total().deadline_misses, 0u);
+}
+
+TEST(RuntimeTopologyTest, GeneralizedImbalancedTopologyAssemblesAndRuns) {
+  // A topology well past the paper's 5-processor testbed (6 primaries + 4
+  // replica hosts at utilization 0.75): assembly must cover every hosting
+  // processor with infrastructure, and a driven run must stay conservative.
+  rtcm::testing::ImbalancedShape shape;
+  shape.primaries = 6;
+  shape.replicas = 4;
+  shape.utilization = 0.75;
+  auto tasks = rtcm::testing::make_imbalanced_workload(9, shape);
+  SystemConfig config;
+  config.strategies = StrategyCombination::parse("J_J_J").value();
+  config.comm_latency = Duration::zero();
+  SystemRuntime runtime(config, std::move(tasks));
+  ASSERT_TRUE(runtime.assemble().is_ok());
+
+  EXPECT_GE(runtime.app_processors().size(), shape.primaries);
+  EXPECT_LE(runtime.app_processors().size(),
+            shape.primaries + shape.replicas);
+  for (const ProcessorId proc : runtime.app_processors()) {
+    EXPECT_NE(runtime.find_container(proc), nullptr);
+    EXPECT_NE(runtime.task_effector(proc), nullptr);
+  }
+  EXPECT_FALSE(std::count(runtime.app_processors().begin(),
+                          runtime.app_processors().end(),
+                          runtime.task_manager()));
+
+  const Time horizon(Duration::seconds(10).usec());
+  Rng arrival_rng = Rng(9).fork(1);
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  runtime.run_until(horizon + Duration::seconds(12));
+  const auto& total = runtime.metrics().total();
+  EXPECT_GT(total.releases, 0u);
+  EXPECT_EQ(total.arrivals, total.releases + total.rejections);
+  EXPECT_EQ(total.releases, total.completions);
+  EXPECT_EQ(total.deadline_misses, 0u);
 }
 
 }  // namespace

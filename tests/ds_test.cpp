@@ -354,5 +354,41 @@ TEST_P(DsDeadlineTest, AdmittedJobsMeetDeadlines) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DsDeadlineTest, ::testing::Values(1, 2, 3, 4));
 
+TEST(DsRuntimeTest, BurstyArrivalsConservedAndServedInOrder) {
+  // Two aperiodic tasks bursting simultaneously: the server must shed the
+  // overload at admission (no silent job loss), serve everything it admits
+  // within the per-admission delay bound (no deadline misses), and recover
+  // fully between bursts.
+  sched::TaskSet tasks;
+  ASSERT_TRUE(tasks.add(make_aperiodic(0, Duration::milliseconds(500),
+                                       {{0, 10000}}))
+                  .is_ok());
+  ASSERT_TRUE(tasks.add(make_aperiodic(1, Duration::milliseconds(800),
+                                       {{1, 15000}, {0, 5000}}))
+                  .is_ok());
+  auto rt = make_ds_runtime(std::move(tasks));
+
+  rtcm::testing::BurstShape burst;
+  burst.bursts = 3;
+  burst.jobs_per_burst = 8;
+  burst.intra_gap = Duration::milliseconds(3);
+  burst.inter_gap = Duration::seconds(1);
+  rt->inject_arrivals(
+      rtcm::testing::make_bursty_arrivals({TaskId(0), TaskId(1)}, burst));
+  rt->run_until(Time(Duration::seconds(8).usec()));
+
+  const auto& total = rt->metrics().total();
+  EXPECT_EQ(total.arrivals, 48u);
+  EXPECT_EQ(total.arrivals, total.releases + total.rejections);
+  EXPECT_EQ(total.releases, total.completions);
+  EXPECT_EQ(total.deadline_misses, 0u);
+  EXPECT_GT(total.completions, 0u);
+  // Every burst clears: once quiescent, the DS book holds no backlog.
+  for (const ProcessorId proc : rt->app_processors()) {
+    EXPECT_EQ(rt->admission_control()->ds_admission()->backlog(proc),
+              Duration::zero());
+  }
+}
+
 }  // namespace
 }  // namespace rtcm

@@ -3,6 +3,7 @@
 // workloads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 
@@ -12,6 +13,7 @@
 #include "core/runtime.h"
 #include "dance/engine.h"
 #include "dance/plan_xml.h"
+#include "test_helpers.h"
 #include "workload/arrival.h"
 #include "workload/generator.h"
 
@@ -244,6 +246,53 @@ TEST(Figure6ShapeTest, LoadBalancingWinsOnImbalancedWorkloads) {
     const double job = mean_ratio(prefix + "_J", shape, 5);
     EXPECT_NEAR(job, task, 0.12) << prefix;
   }
+}
+
+// --- Poisson background plus bursty foreground ------------------------------------
+
+TEST(MixedLoadTest, BurstOverloadOnTopOfPoissonBackgroundStaysSafe) {
+  // An imbalanced workload driving normal Poisson/periodic traffic, with one
+  // aperiodic task additionally slammed by bursts on top of its own stream:
+  // conservation and the no-miss guarantee must survive the combination.
+  auto tasks = rtcm::testing::make_imbalanced_workload(55);
+  TaskId bursty_task;
+  for (const sched::TaskSpec& t : tasks.tasks()) {
+    if (t.kind == sched::TaskKind::kAperiodic) {
+      bursty_task = t.id;
+      break;
+    }
+  }
+  ASSERT_TRUE(bursty_task.valid());
+
+  core::SystemConfig config;
+  config.strategies = core::StrategyCombination::parse("J_J_J").value();
+  core::SystemRuntime rt(config, std::move(tasks));
+  ASSERT_TRUE(rt.assemble().is_ok());
+
+  const Time horizon(Duration::seconds(10).usec());
+  Rng arrival_rng = Rng(55).fork(1);
+  auto trace = workload::generate_arrivals(rt.tasks(), horizon, arrival_rng);
+  rtcm::testing::BurstShape burst;
+  burst.bursts = 5;
+  burst.jobs_per_burst = 15;
+  burst.intra_gap = Duration::milliseconds(1);
+  burst.inter_gap = Duration::seconds(2);
+  const auto bursts = rtcm::testing::make_bursty_arrivals(bursty_task, burst);
+  const std::uint64_t background = trace.size();
+  trace.insert(trace.end(), bursts.begin(), bursts.end());
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const core::Arrival& a, const core::Arrival& b) {
+                     return a.time < b.time;
+                   });
+
+  rt.inject_arrivals(trace);
+  rt.run_until(horizon + Duration::seconds(15));
+  const auto& total = rt.metrics().total();
+  EXPECT_EQ(total.arrivals, background + 75u);
+  EXPECT_EQ(total.arrivals, total.releases + total.rejections);
+  EXPECT_EQ(total.releases, total.completions);
+  EXPECT_EQ(total.deadline_misses, 0u);
+  EXPECT_GT(total.rejections, 0u);  // the bursts must overload admission
 }
 
 }  // namespace

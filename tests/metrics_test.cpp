@@ -118,5 +118,36 @@ TEST(MetricsTest, RenderMentionsEveryTask) {
   EXPECT_NE(text.find("T7"), std::string::npos);
 }
 
+TEST(MetricsTest, RatioBoundedUnderBurstyPartialAdmission) {
+  // Drive the collector with a bursty arrival trace where only every third
+  // job is released: the headline ratio must stay in [0, 1] after every
+  // event and converge to the released share (all jobs share one spec, so
+  // utilization weighting reduces to a count ratio).
+  MetricsCollector metrics;
+  const auto spec = rtcm::testing::make_aperiodic(
+      0, Duration::milliseconds(100), {{0, 10000}});
+  rtcm::testing::BurstShape shape;
+  shape.bursts = 3;
+  shape.jobs_per_burst = 10;
+  const auto trace = rtcm::testing::make_bursty_arrivals(TaskId(0), shape);
+  std::uint64_t released = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const JobId job(static_cast<std::int32_t>(i));
+    metrics.on_arrival(spec, job, trace[i].time);
+    if (i % 3 == 0) {
+      metrics.on_release(spec, job, trace[i].time);
+      ++released;
+    } else {
+      metrics.on_rejection(spec, job, trace[i].time);
+    }
+    const double ratio = metrics.accepted_utilization_ratio();
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+  EXPECT_EQ(metrics.total().arrivals, trace.size());
+  EXPECT_NEAR(metrics.accepted_utilization_ratio(),
+              static_cast<double>(released) / trace.size(), 1e-9);
+}
+
 }  // namespace
 }  // namespace rtcm::core

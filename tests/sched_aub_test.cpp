@@ -51,6 +51,31 @@ TEST(LedgerTest, TotalsNeverGoNegative) {
   EXPECT_LT(ledger.total(ProcessorId(0)), 1e-9);
 }
 
+TEST(LedgerTest, DrainedProcessorTotalIsExactlyZero) {
+  UtilizationLedger ledger;
+  // Interleaved adds/removes with drift-prone amounts: once the last live
+  // contribution on a processor goes away, the total must snap to exactly
+  // zero, not a residue — admission tests and quiescence checks compare
+  // against it.
+  std::vector<ContributionId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(ledger.add(ProcessorId(0), (i + 1) / 7.0 / 300.0));
+    }
+    for (const auto id : ids) EXPECT_TRUE(ledger.remove(id));
+    ids.clear();
+    EXPECT_DOUBLE_EQ(ledger.total(ProcessorId(0)), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.total_all(), 0.0);
+  }
+  // A survivor on another processor is unaffected by the snap.
+  const auto keep = ledger.add(ProcessorId(1), 0.25);
+  const auto gone = ledger.add(ProcessorId(1), 0.5);
+  EXPECT_TRUE(ledger.remove(gone));
+  EXPECT_NEAR(ledger.total(ProcessorId(1)), 0.25, 1e-12);
+  EXPECT_TRUE(ledger.remove(keep));
+  EXPECT_DOUBLE_EQ(ledger.total(ProcessorId(1)), 0.0);
+}
+
 TEST(LedgerTest, ProcessorsListsNonZero) {
   UtilizationLedger ledger;
   (void)ledger.add(ProcessorId(3), 0.1);

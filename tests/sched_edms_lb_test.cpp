@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "sched/edms.h"
@@ -190,6 +192,63 @@ TEST(LoadBalancerTest, HeuristicNeverWorseThanPrimaryForSpread) {
               spread_after(primary.place(task, ledger)) + 1e-12);
   }
 }
+
+// --- Generated imbalanced workloads ------------------------------------------
+
+class GeneratedWorkloadTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratedWorkloadTest, EdmsPrioritiesDenseAndDeadlineMonotone) {
+  rtcm::testing::ImbalancedShape shape;
+  shape.primaries = 4;
+  shape.replicas = 3;
+  shape.utilization = 0.8;
+  const auto tasks = rtcm::testing::make_imbalanced_workload(GetParam(), shape);
+  const auto priorities = assign_edms_priorities(tasks);
+  ASSERT_EQ(priorities.size(), tasks.size());
+
+  // Dense levels 0..n-1, one per task.
+  std::set<std::int32_t> levels;
+  for (const auto& [task, priority] : priorities) {
+    levels.insert(priority.level());
+  }
+  EXPECT_EQ(levels.size(), tasks.size());
+  EXPECT_EQ(*levels.begin(), 0);
+  EXPECT_EQ(*levels.rbegin(), static_cast<std::int32_t>(tasks.size()) - 1);
+
+  // Deadline-monotone: a more urgent level never has a longer deadline.
+  for (const TaskSpec& a : tasks.tasks()) {
+    for (const TaskSpec& b : tasks.tasks()) {
+      if (priorities.at(a.id).preempts(priorities.at(b.id))) {
+        EXPECT_LE(a.deadline.usec(), b.deadline.usec());
+      }
+    }
+  }
+}
+
+TEST_P(GeneratedWorkloadTest, LowestUtilPlacementStaysWithinReplicaSets) {
+  const auto tasks = rtcm::testing::make_imbalanced_workload(GetParam());
+  UtilizationLedger ledger;
+  Rng load_rng(GetParam() + 1000);
+  for (int p = 0; p < 5; ++p) {
+    (void)ledger.add(ProcessorId(p), load_rng.uniform_real(0.0, 0.7));
+  }
+  LoadBalancer balancer;
+  for (const TaskSpec& task : tasks.tasks()) {
+    const auto placement = balancer.place(task, ledger);
+    ASSERT_EQ(placement.size(), task.subtasks.size());
+    for (std::size_t j = 0; j < placement.size(); ++j) {
+      const SubtaskSpec& st = task.subtasks[j];
+      const bool allowed =
+          placement[j] == st.primary ||
+          std::count(st.replicas.begin(), st.replicas.end(), placement[j]) > 0;
+      EXPECT_TRUE(allowed) << "stage " << j << " of task " << task.name
+                           << " placed off its replica set";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedWorkloadTest,
+                         ::testing::Values(41, 42, 43));
 
 }  // namespace
 }  // namespace rtcm::sched

@@ -140,5 +140,50 @@ TEST(SchedulingStateTest, ManyConcurrentJobsOfOneTask) {
   EXPECT_EQ(state.current_footprints().size(), 4u);
 }
 
+TEST(SchedulingStateTest, ResetsAreDecreaseOnlyUnderRandomInterleaving) {
+  // Unit-level mirror of the system invariant: across arbitrary
+  // admit/reset/expire interleavings over a generated workload, admissions
+  // are the only operation that may grow the ledger, and draining every job
+  // returns it to exactly zero.
+  const sched::TaskSet tasks = rtcm::testing::make_imbalanced_workload(7);
+  SchedulingState state;
+  Rng rng(7);
+  struct LiveJob {
+    JobId job;
+    const sched::TaskSpec* spec;
+  };
+  std::vector<LiveJob> live;
+  std::int32_t next_job = 0;
+
+  for (int step = 0; step < 600; ++step) {
+    const double before = state.ledger().total_all();
+    const std::size_t op = rng.index(3);
+    if (op == 0 || live.empty()) {
+      const sched::TaskSpec& spec = tasks.tasks()[rng.index(tasks.size())];
+      std::vector<ProcessorId> placement;
+      for (const sched::SubtaskSpec& st : spec.subtasks) {
+        placement.push_back(st.primary);
+      }
+      const JobId job(next_job++);
+      state.admit_job(spec, job, placement, Time(step * 1000 + 100000));
+      live.push_back({job, &spec});
+      EXPECT_GE(state.ledger().total_all(), before);
+    } else if (op == 1) {
+      const LiveJob& pick = live[rng.index(live.size())];
+      (void)state.reset_subjob(pick.job,
+                               rng.index(pick.spec->subtasks.size()));
+      EXPECT_LE(state.ledger().total_all(), before);
+    } else {
+      const std::size_t i = rng.index(live.size());
+      state.expire_job(live[i].job);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      EXPECT_LE(state.ledger().total_all(), before);
+    }
+  }
+  for (const LiveJob& j : live) state.expire_job(j.job);
+  EXPECT_EQ(state.active_jobs(), 0u);
+  EXPECT_DOUBLE_EQ(state.ledger().total_all(), 0.0);
+}
+
 }  // namespace
 }  // namespace rtcm::core

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "sched/analysis.h"
+#include "test_helpers.h"
 #include "workload/arrival.h"
 #include "workload/generator.h"
 
@@ -112,6 +113,111 @@ TEST_P(ImbalancedWorkloadTest, MatchesPaperSection72Parameters) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ImbalancedWorkloadTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Generalized imbalanced shapes (test_helpers builder) ----------------------
+
+struct ImbalancedBuilderCase {
+  std::size_t primaries;
+  std::size_t replicas;
+  double utilization;
+};
+
+class ImbalancedBuilderTest
+    : public ::testing::TestWithParam<ImbalancedBuilderCase> {};
+
+TEST_P(ImbalancedBuilderTest, CalibratedOnEveryPrimaryProcessor) {
+  const ImbalancedBuilderCase& p = GetParam();
+  rtcm::testing::ImbalancedShape opt;
+  opt.primaries = p.primaries;
+  opt.replicas = p.replicas;
+  opt.utilization = p.utilization;
+  const sched::TaskSet set = rtcm::testing::make_imbalanced_workload(77, opt);
+  const auto utils = sched::simultaneous_utilization(set);
+  for (std::size_t proc = 0; proc < p.primaries; ++proc) {
+    EXPECT_NEAR(utils.at(ProcessorId(static_cast<std::int32_t>(proc))),
+                p.utilization, 0.01);
+  }
+  for (const sched::TaskSpec& t : set.tasks()) {
+    for (const sched::SubtaskSpec& st : t.subtasks) {
+      // Primaries live on the primary band, replicas on the replica band.
+      EXPECT_LT(st.primary.value(), static_cast<std::int32_t>(p.primaries));
+      for (const ProcessorId replica : st.replicas) {
+        EXPECT_GE(replica.value(), static_cast<std::int32_t>(p.primaries));
+        EXPECT_LT(replica.value(),
+                  static_cast<std::int32_t>(p.primaries + p.replicas));
+      }
+    }
+  }
+}
+
+TEST_P(ImbalancedBuilderTest, DeterministicPerSeed) {
+  const ImbalancedBuilderCase& p = GetParam();
+  rtcm::testing::ImbalancedShape opt;
+  opt.primaries = p.primaries;
+  opt.replicas = p.replicas;
+  opt.utilization = p.utilization;
+  const sched::TaskSet a = rtcm::testing::make_imbalanced_workload(5, opt);
+  const sched::TaskSet b = rtcm::testing::make_imbalanced_workload(5, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const sched::TaskSpec& ta = a.tasks()[i];
+    const sched::TaskSpec& tb = b.tasks()[i];
+    EXPECT_EQ(ta.id, tb.id);
+    EXPECT_EQ(ta.deadline, tb.deadline);
+    ASSERT_EQ(ta.subtasks.size(), tb.subtasks.size());
+    for (std::size_t j = 0; j < ta.subtasks.size(); ++j) {
+      EXPECT_EQ(ta.subtasks[j].primary, tb.subtasks[j].primary);
+      EXPECT_EQ(ta.subtasks[j].execution, tb.subtasks[j].execution);
+      EXPECT_EQ(ta.subtasks[j].replicas, tb.subtasks[j].replicas);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ImbalancedBuilderTest,
+    ::testing::Values(ImbalancedBuilderCase{2, 1, 0.6},
+                      ImbalancedBuilderCase{4, 2, 0.7},
+                      ImbalancedBuilderCase{6, 3, 0.85}),
+    [](const ::testing::TestParamInfo<ImbalancedBuilderCase>& info) {
+      return "P" + std::to_string(info.param.primaries) + "R" +
+             std::to_string(info.param.replicas);
+    });
+
+// --- Bursty arrival traces (test_helpers builder) ------------------------------
+
+TEST(BurstyArrivalTest, ShapeProducesSortedBurstClusters) {
+  rtcm::testing::BurstShape shape;
+  shape.bursts = 4;
+  shape.jobs_per_burst = 6;
+  shape.intra_gap = Duration::milliseconds(2);
+  shape.inter_gap = Duration::milliseconds(300);
+  const auto trace = rtcm::testing::make_bursty_arrivals(TaskId(3), shape);
+  ASSERT_EQ(trace.size(), 24u);
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    EXPECT_LE(trace[i].time, trace[i + 1].time);
+    const Duration gap = trace[i + 1].time - trace[i].time;
+    // Gaps are either intra-burst or the burst separator; nothing else.
+    const bool boundary = (i + 1) % shape.jobs_per_burst == 0;
+    EXPECT_EQ(gap, boundary ? shape.intra_gap + shape.inter_gap
+                            : shape.intra_gap);
+  }
+}
+
+TEST(BurstyArrivalTest, MultiTaskTraceIsTimeSortedAndComplete) {
+  rtcm::testing::BurstShape shape;
+  shape.bursts = 2;
+  shape.jobs_per_burst = 5;
+  const auto trace = rtcm::testing::make_bursty_arrivals(
+      {TaskId(0), TaskId(1), TaskId(2)}, shape);
+  ASSERT_EQ(trace.size(), 30u);
+  std::map<std::int32_t, std::size_t> per_task;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) EXPECT_LE(trace[i - 1].time, trace[i].time);
+    ++per_task[trace[i].task.value()];
+  }
+  for (const auto& [task, count] : per_task) EXPECT_EQ(count, 10u);
+  EXPECT_EQ(per_task.size(), 3u);
+}
 
 // --- §7.3 overhead shape ---------------------------------------------------------
 
