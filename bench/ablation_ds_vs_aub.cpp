@@ -10,105 +10,85 @@
 // This bench reruns that comparison on this implementation: random §7.1
 // workloads under AUB analysis vs DS analysis (one server per processor),
 // reporting accepted utilization ratio and aperiodic response times for a
-// sweep of server sizes.
+// sweep of server sizes.  The analyses ride the sweep grid's variant axis.
 //
-// Flags: --seeds=N --horizon_s=N
+// Flags: --seeds=N --horizon_s=N --threads=N --json_out=PATH
 #include <cstdio>
 
 #include "bench_common.h"
-#include "util/flags.h"
 
 using namespace rtcm;
 
 namespace {
 
-struct Outcome {
-  OnlineStats ratio;
-  OnlineStats aperiodic_response_ms;
-  OnlineStats misses;
+struct Variant {
+  const char* name;
+  core::AperiodicAnalysis analysis;
+  Duration budget;
+  Duration period;
 };
 
-Outcome run(core::AperiodicAnalysis analysis, Duration budget,
-            Duration period, int seeds, const bench::ExperimentParams& params) {
-  Outcome outcome;
-  for (int seed = 1; seed <= seeds; ++seed) {
-    Rng rng(static_cast<std::uint64_t>(seed));
-    auto tasks =
-        workload::generate_workload(workload::random_workload_shape(), rng);
-    core::SystemConfig config;
-    config.strategies = core::StrategyCombination::parse("J_T_T").value();
-    config.comm_latency = params.comm_latency;
-    config.analysis = analysis;
-    config.ds_server.budget = budget;
-    config.ds_server.period = period;
-    core::SystemRuntime runtime(config, std::move(tasks));
-    if (Status s = runtime.assemble(); !s.is_ok()) {
-      std::fprintf(stderr, "assemble failed: %s\n", s.message().c_str());
-      continue;
-    }
-    Rng arrival_rng = rng.fork(1);
-    const Time horizon = Time::epoch() + params.horizon;
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
-    runtime.run_until(horizon + params.drain);
-
-    outcome.ratio.add(runtime.metrics().accepted_utilization_ratio());
-    outcome.misses.add(
-        static_cast<double>(runtime.metrics().total().deadline_misses));
-    OnlineStats response;
-    for (const auto& [task, tm] : runtime.metrics().per_task()) {
-      if (runtime.tasks().find(task)->kind == sched::TaskKind::kAperiodic) {
-        response.merge(tm.response_ms);
-      }
-    }
-    if (response.count() > 0) {
-      outcome.aperiodic_response_ms.add(response.mean());
-    }
-  }
-  return outcome;
-}
+const Variant kVariants[] = {
+    {"AUB (paper's choice)", core::AperiodicAnalysis::kAub, Duration::zero(),
+     Duration::zero()},
+    {"DS 10ms/100ms (2B/P=0.2)", core::AperiodicAnalysis::kDeferrableServer,
+     Duration::milliseconds(10), Duration::milliseconds(100)},
+    {"DS 20ms/100ms (2B/P=0.4)", core::AperiodicAnalysis::kDeferrableServer,
+     Duration::milliseconds(20), Duration::milliseconds(100)},
+    {"DS 30ms/100ms (2B/P=0.6)", core::AperiodicAnalysis::kDeferrableServer,
+     Duration::milliseconds(30), Duration::milliseconds(100)},
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  bench::ExperimentParams params;
-  const int seeds = static_cast<int>(flags.get_int("seeds", 8));
-  params.horizon = Duration::seconds(flags.get_int("horizon_s", 60));
+  auto options = bench::BenchOptions::from_flags(flags, 8, 60);
+  options.params.configure = [](const sweep::Cell& cell,
+                                core::SystemConfig& config) {
+    for (const Variant& v : kVariants) {
+      if (cell.variant == v.name) {
+        config.analysis = v.analysis;
+        config.ds_server.budget = v.budget;
+        config.ds_server.period = v.period;
+        return;
+      }
+    }
+  };
 
   std::printf(
       "AUB vs Deferrable Server admission control (paper Sec 2)\n"
       "random Sec-7.1 workloads, AC per job / IR per task / LB per task,\n"
       "%d seeds per row\n\n",
-      seeds);
-  std::printf("%-26s %-10s %-22s %-8s\n", "analysis",
-              "accept", "aperiodic mean resp", "misses");
+      options.seeds);
+  std::printf("%-26s %-10s %-22s %-8s\n", "analysis", "accept",
+              "aperiodic mean resp", "misses");
 
-  const auto aub = run(core::AperiodicAnalysis::kAub, Duration::zero(),
-                       Duration::zero(), seeds, params);
-  std::printf("%-26s %-10.4f %-19.1fms %-8.0f\n", "AUB (paper's choice)",
-              aub.ratio.mean(), aub.aperiodic_response_ms.mean(),
-              aub.misses.sum());
+  sweep::Grid grid;
+  grid.combos = {core::StrategyCombination::parse("J_T_T").value()};
+  grid.shapes = {{"random", workload::random_workload_shape()}};
+  grid.variants.clear();
+  for (const Variant& v : kVariants) grid.variants.emplace_back(v.name);
 
-  struct ServerSize {
-    const char* name;
-    Duration budget;
-    Duration period;
-  };
-  const ServerSize sizes[] = {
-      {"DS 10ms/100ms (2B/P=0.2)", Duration::milliseconds(10),
-       Duration::milliseconds(100)},
-      {"DS 20ms/100ms (2B/P=0.4)", Duration::milliseconds(20),
-       Duration::milliseconds(100)},
-      {"DS 30ms/100ms (2B/P=0.6)", Duration::milliseconds(30),
-       Duration::milliseconds(100)},
-  };
-  for (const ServerSize& size : sizes) {
-    const auto ds = run(core::AperiodicAnalysis::kDeferrableServer,
-                        size.budget, size.period, seeds, params);
-    std::printf("%-26s %-10.4f %-19.1fms %-8.0f\n", size.name,
-                ds.ratio.mean(), ds.aperiodic_response_ms.mean(),
-                ds.misses.sum());
+  const sweep::Report report =
+      bench::run_grid("ablation_ds_vs_aub", grid, options);
+
+  for (const Variant& v : kVariants) {
+    OnlineStats ratio;
+    OnlineStats response;
+    OnlineStats misses;
+    for (const auto& cell : report.cells) {
+      if (cell.cell.variant != v.name) continue;
+      ratio.add(cell.accept_ratio);
+      misses.add(static_cast<double>(cell.deadline_misses));
+      // Seeds whose aperiodic jobs never completed contribute no response
+      // sample (matching the pre-sweep behaviour of this bench).
+      if (cell.aperiodic_response_ms > 0.0) {
+        response.add(cell.aperiodic_response_ms);
+      }
+    }
+    std::printf("%-26s %-10.4f %-19.1fms %-8.0f\n", v.name, ratio.mean(),
+                response.mean(), misses.sum());
   }
 
   std::printf(
@@ -120,5 +100,5 @@ int main(int argc, char** argv) {
       "least as much while needing no budget-enforcement mechanism in the\n"
       "middleware is exactly the paper's stated reason for focusing on AUB\n"
       "(Sec 2).\n");
-  return 0;
+  return bench::finish(report, options);
 }

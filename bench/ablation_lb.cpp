@@ -7,74 +7,50 @@
 //   primary      — no balancing (the No-LB baseline)
 //   random       — uniform random replica choice
 //   lowest-util  — the paper's heuristic
-// under LB per task and LB per job.
+// under LB per task and LB per job.  The policies ride the sweep grid's
+// variant axis; the configure hook maps each variant onto the SystemConfig.
 //
-// Flags: --seeds=N --horizon_s=N
+// Flags: --seeds=N --horizon_s=N --threads=N --json_out=PATH
 #include <cstdio>
 
 #include "bench_common.h"
-#include "util/flags.h"
 
 using namespace rtcm;
 
-namespace {
-
-double run_policy(const char* combo, const std::string& policy,
-                  std::uint64_t seed, const bench::ExperimentParams& params) {
-  Rng rng(seed);
-  auto tasks =
-      workload::generate_workload(workload::imbalanced_workload_shape(), rng);
-  core::SystemConfig config;
-  config.strategies = core::StrategyCombination::parse(combo).value();
-  config.lb_policy = policy;
-  config.lb_seed = seed;
-  config.comm_latency = params.comm_latency;
-  core::SystemRuntime runtime(config, std::move(tasks));
-  const Status status = runtime.assemble();
-  if (!status.is_ok()) {
-    std::fprintf(stderr, "assemble failed: %s\n", status.message().c_str());
-    return 0.0;
-  }
-  Rng arrival_rng = rng.fork(1);
-  const Time horizon = Time::epoch() + params.horizon;
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
-  runtime.run_until(horizon + params.drain);
-  return runtime.metrics().accepted_utilization_ratio();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  bench::ExperimentParams params;
-  params.seeds = static_cast<int>(flags.get_int("seeds", 8));
-  params.horizon = Duration::seconds(flags.get_int("horizon_s", 60));
+  auto options = bench::BenchOptions::from_flags(flags, 8, 60);
+  options.params.configure = [](const sweep::Cell& cell,
+                                core::SystemConfig& config) {
+    config.lb_policy = cell.variant;
+    config.lb_seed = cell.seed;
+  };
 
   std::printf(
       "Ablation: LB placement policy on imbalanced workloads (Sec 4.4)\n"
       "%d seeds per cell; accepted utilization ratio\n\n",
-      params.seeds);
+      options.seeds);
   std::printf("%-10s %-12s %-12s %-12s\n", "LB mode", "primary", "random",
               "lowest-util");
 
+  sweep::Grid grid;
+  grid.combos = {core::StrategyCombination::parse("J_N_T").value(),
+                 core::StrategyCombination::parse("J_N_J").value()};
+  grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
+  grid.variants = {"primary", "random", "lowest-util"};
+
+  const sweep::Report report = bench::run_grid("ablation_lb", grid, options);
+
   for (const char* combo : {"J_N_T", "J_N_J"}) {
-    OnlineStats primary;
-    OnlineStats random_pick;
-    OnlineStats lowest;
-    for (int seed = 1; seed <= params.seeds; ++seed) {
-      const auto s = static_cast<std::uint64_t>(seed);
-      primary.add(run_policy(combo, "primary", s, params));
-      random_pick.add(run_policy(combo, "random", s, params));
-      lowest.add(run_policy(combo, "lowest-util", s, params));
-    }
     std::printf("%-10s %-12.4f %-12.4f %-12.4f\n",
                 std::string(combo).substr(4) == "T" ? "per task" : "per job",
-                primary.mean(), random_pick.mean(), lowest.mean());
+                report.mean_accept_ratio(combo, "primary"),
+                report.mean_accept_ratio(combo, "random"),
+                report.mean_accept_ratio(combo, "lowest-util"));
   }
 
   std::printf(
       "\nReading: random replica choice recovers part of the balancing win;\n"
       "the lowest-synthetic-utilization heuristic captures the rest.\n");
-  return 0;
+  return bench::finish(report, options);
 }

@@ -7,7 +7,15 @@
 // implementation: the AUB admission test scales with the number of current
 // tasks and chain length, and stays in the microsecond range far beyond the
 // paper's 9-task workloads.
+//
+// Machine-readable output comes from Google Benchmark itself
+// (--benchmark_out=FILE --benchmark_out_format=json); run_benches.sh passes
+// those so this binary lands in the report directory alongside the
+// BENCH_*.json sweep reports.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
 
 #include "sched/aub.h"
 #include "sched/load_balancer.h"
@@ -32,8 +40,8 @@ Scenario make_scenario(std::int64_t current_tasks, std::int64_t stages,
     sched::TaskFootprint fp;
     fp.task = TaskId(static_cast<std::int32_t>(i));
     for (std::int64_t j = 0; j < stages; ++j) {
-      const ProcessorId proc(
-          static_cast<std::int32_t>(rng.index(static_cast<std::size_t>(processors))));
+      const ProcessorId proc(static_cast<std::int32_t>(
+          rng.index(static_cast<std::size_t>(processors))));
       fp.processors.push_back(proc);
       // Keep the system lightly loaded so tests exercise the full path.
       (void)s.ledger.add(proc, 0.3 / static_cast<double>(current_tasks));

@@ -1,81 +1,111 @@
-// Shared driver for the Figure 5 / Figure 6 style experiments.
+// Shared glue between the bench binaries and the sweep engine.
+//
+// Every grid bench (Figures 5/6 and the ablations) declares a sweep::Grid,
+// parses the shared flag set, runs the grid through the parallel sweep
+// driver, and optionally writes a BENCH_<name>.json report.  The hand-rolled
+// per-bench seed loops this header used to contain live in src/sweep/ now.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/runtime.h"
-#include "util/stats.h"
-#include "workload/arrival.h"
-#include "workload/generator.h"
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "util/flags.h"
 
 namespace rtcm::bench {
 
-struct ExperimentParams {
-  int seeds = 10;                       // task sets per combination (paper: 10)
-  Duration horizon = Duration::seconds(100);
-  Duration drain = Duration::seconds(15);
-  Duration comm_latency = sim::Network::kPaperOneWayDelay;
-  double aperiodic_interarrival_factor = 1.0;
+/// Options shared by every grid bench.  Flags: --seeds=N --horizon_s=N
+/// --aperiodic_factor=F --comm_us=N --threads=N (0 = all cores)
+/// --json_out=PATH (empty = no report file).
+struct BenchOptions {
+  int seeds = 10;
+  sweep::SweepParams params;
+  sweep::SweepOptions sweep;
+  std::string json_out;
+
+  [[nodiscard]] static BenchOptions from_flags(const Flags& flags,
+                                               int default_seeds = 10,
+                                               int default_horizon_s = 100) {
+    BenchOptions options;
+    options.seeds =
+        static_cast<int>(flags.get_int("seeds", default_seeds));
+    options.params.horizon =
+        Duration::seconds(flags.get_int("horizon_s", default_horizon_s));
+    options.params.aperiodic_interarrival_factor =
+        flags.get_double("aperiodic_factor", 1.0);
+    options.params.comm_latency = Duration::microseconds(flags.get_int(
+        "comm_us", sim::Network::kPaperOneWayDelay.usec()));
+    options.sweep.threads =
+        static_cast<std::size_t>(flags.get_int("threads", 0));
+    options.json_out = flags.get_string("json_out", "");
+    return options;
+  }
 };
 
-struct ComboResult {
-  std::string label;
-  OnlineStats ratio;          // accepted utilization ratio across seeds
-  OnlineStats deadline_misses;
-};
+/// Run the grid and assemble a report with provenance and a parameter
+/// snapshot.  Cell order (and therefore report bytes modulo wall times) is
+/// independent of the thread count.
+inline sweep::Report run_grid(const std::string& name,
+                              const sweep::Grid& grid,
+                              const BenchOptions& options) {
+  sweep::Grid sized_grid = grid;
+  sized_grid.seeds = options.seeds;
 
-/// Run one (combination, seed) experiment and return the accepted
-/// utilization ratio.
-inline double run_once(const core::StrategyCombination& combo,
-                       const workload::WorkloadShape& shape,
-                       std::uint64_t seed, const ExperimentParams& params,
-                       std::uint64_t* misses = nullptr) {
-  Rng rng(seed);
-  workload::WorkloadShape seeded_shape = shape;
-  seeded_shape.aperiodic_interarrival_factor =
-      params.aperiodic_interarrival_factor;
-  auto tasks = workload::generate_workload(seeded_shape, rng);
+  sweep::Report report;
+  report.name = name;
+  report.git_sha = sweep::git_head_sha();
+  report.params.set("seeds", options.seeds);
+  report.params.set(
+      "horizon_s",
+      static_cast<std::int64_t>(options.params.horizon.usec() / 1000000));
+  report.params.set(
+      "drain_s",
+      static_cast<std::int64_t>(options.params.drain.usec() / 1000000));
+  report.params.set("comm_us", options.params.comm_latency.usec());
+  report.params.set("aperiodic_factor",
+                    options.params.aperiodic_interarrival_factor);
+  report.params.set("threads",
+                    static_cast<std::int64_t>(options.sweep.threads));
+  report.cells = sweep::run_sweep(sized_grid, options.params, options.sweep);
 
-  core::SystemConfig config;
-  config.strategies = combo;
-  config.comm_latency = params.comm_latency;
-  core::SystemRuntime runtime(config, std::move(tasks));
-  const Status status = runtime.assemble();
-  if (!status.is_ok()) {
-    std::fprintf(stderr, "assemble failed: %s\n", status.message().c_str());
-    return 0.0;
+  for (const auto& cell : report.cells) {
+    if (!cell.error.empty()) {
+      std::fprintf(stderr, "cell %s/%s/%llu failed: %s\n",
+                   cell.cell.combo.c_str(), cell.cell.shape.c_str(),
+                   static_cast<unsigned long long>(cell.cell.seed),
+                   cell.error.c_str());
+    }
   }
-  Rng arrival_rng = rng.fork(1);
-  const Time horizon = Time::epoch() + params.horizon;
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
-  runtime.run_until(horizon + params.drain);
-  if (misses != nullptr) {
-    *misses = runtime.metrics().total().deadline_misses;
-  }
-  return runtime.metrics().accepted_utilization_ratio();
+  return report;
 }
 
-/// Run all requested combinations over `params.seeds` task sets.
-inline std::vector<ComboResult> run_matrix(
-    const std::vector<core::StrategyCombination>& combos,
-    const workload::WorkloadShape& shape, const ExperimentParams& params) {
-  std::vector<ComboResult> results;
-  for (const auto& combo : combos) {
-    ComboResult result;
-    result.label = combo.label();
-    for (int seed = 1; seed <= params.seeds; ++seed) {
-      std::uint64_t misses = 0;
-      result.ratio.add(run_once(combo, shape,
-                                static_cast<std::uint64_t>(seed), params,
-                                &misses));
-      result.deadline_misses.add(static_cast<double>(misses));
-    }
-    results.push_back(std::move(result));
+/// Finish a grid bench: write the report when --json_out was given and
+/// return main()'s exit code — nonzero when any cell failed or the report
+/// could not be written, so run_benches.sh (and CI behind it) can gate on
+/// bench health, not just on the tables printing.
+[[nodiscard]] inline int finish(const sweep::Report& report,
+                                const BenchOptions& options) {
+  int failed_cells = 0;
+  for (const auto& cell : report.cells) {
+    if (!cell.error.empty()) ++failed_cells;
   }
-  return results;
+  if (!options.json_out.empty()) {
+    if (Status status = report.write_file(options.json_out);
+        !status.is_ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   options.json_out.c_str(), status.message().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", options.json_out.c_str());
+  }
+  if (failed_cells > 0) {
+    std::fprintf(stderr, "%d of %zu cells failed\n", failed_cells,
+                 report.cells.size());
+    return 1;
+  }
+  return 0;
 }
 
 /// ASCII bar for a ratio in [0, 1].

@@ -12,60 +12,54 @@
 // workloads.
 //
 // Flags: --seeds=N --horizon_s=N --aperiodic_factor=F --comm_us=N
+//        --threads=N --json_out=PATH
 #include <cstdio>
 
 #include "bench_common.h"
-#include "util/flags.h"
 
 using namespace rtcm;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  bench::ExperimentParams params;
-  params.seeds = static_cast<int>(flags.get_int("seeds", 10));
-  params.horizon = Duration::seconds(flags.get_int("horizon_s", 100));
-  params.aperiodic_interarrival_factor =
-      flags.get_double("aperiodic_factor", 1.0);
-  params.comm_latency =
-      Duration::microseconds(flags.get_int("comm_us", 322));
+  const auto options = bench::BenchOptions::from_flags(flags);
 
   std::printf(
       "Figure 5: Accepted Utilization Ratio (random workloads, Sec 7.1)\n"
       "%d task sets x 9 tasks (5 periodic + 4 aperiodic), 5 processors,\n"
       "deadlines U[250ms,10s], per-processor synthetic utilization 0.5,\n"
       "horizon %llds + drain, one-way comm latency %lldus\n\n",
-      params.seeds,
-      static_cast<long long>(params.horizon.usec() / 1000000),
-      static_cast<long long>(params.comm_latency.usec()));
+      options.seeds,
+      static_cast<long long>(options.params.horizon.usec() / 1000000),
+      static_cast<long long>(options.params.comm_latency.usec()));
 
-  const auto results = bench::run_matrix(core::valid_combinations(),
-                                         workload::random_workload_shape(),
-                                         params);
+  sweep::Grid grid;
+  grid.combos = core::valid_combinations();
+  grid.shapes = {{"random", workload::random_workload_shape()}};
+  const sweep::Report report =
+      bench::run_grid("fig5_accept_ratio", grid, options);
+  const auto aggregates = report.aggregates();
 
   std::printf("%-7s %-7s %-7s %-44s %s\n", "combo", "mean", "stddev", "",
               "misses");
   double best = 0;
   std::string best_label;
-  for (const auto& r : results) {
-    if (r.ratio.mean() > best) {
-      best = r.ratio.mean();
-      best_label = r.label;
+  for (const auto& agg : aggregates) {
+    if (agg.accept_ratio.mean() > best) {
+      best = agg.accept_ratio.mean();
+      best_label = agg.combo;
     }
   }
-  for (const auto& r : results) {
-    std::printf("%-7s %.4f  %.4f  |%s| %.0f%s\n", r.label.c_str(),
-                r.ratio.mean(), r.ratio.stddev(),
-                bench::bar(r.ratio.mean()).c_str(),
-                r.deadline_misses.sum(),
-                r.label == best_label ? "   <- best" : "");
+  for (const auto& agg : aggregates) {
+    std::printf("%-7s %.4f  %.4f  |%s| %.0f%s\n", agg.combo.c_str(),
+                agg.accept_ratio.mean(), agg.accept_ratio.stddev(),
+                bench::bar(agg.accept_ratio.mean()).c_str(),
+                agg.deadline_misses.sum(),
+                agg.combo == best_label ? "   <- best" : "");
   }
 
   // Headline comparisons the paper calls out.
   auto mean_of = [&](const std::string& label) {
-    for (const auto& r : results) {
-      if (r.label == label) return r.ratio.mean();
-    }
-    return 0.0;
+    return report.mean_accept_ratio(label);
   };
   auto avg3 = [&](const char* a, const char* b, const char* c) {
     return (mean_of(a) + mean_of(b) + mean_of(c)) / 3.0;
@@ -87,5 +81,5 @@ int main(int argc, char** argv) {
                mean_of("J_J_J") >= ir_task)
                   ? "YES"
                   : "NO");
-  return 0;
+  return bench::finish(report, options);
 }

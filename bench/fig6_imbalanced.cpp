@@ -11,44 +11,39 @@
 // LB per task vs per job differ little.
 //
 // Flags: --seeds=N --horizon_s=N --aperiodic_factor=F --comm_us=N
+//        --threads=N --json_out=PATH
 #include <cstdio>
 
 #include "bench_common.h"
-#include "util/flags.h"
 
 using namespace rtcm;
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
-  bench::ExperimentParams params;
-  params.seeds = static_cast<int>(flags.get_int("seeds", 10));
-  params.horizon = Duration::seconds(flags.get_int("horizon_s", 100));
-  params.aperiodic_interarrival_factor =
-      flags.get_double("aperiodic_factor", 1.0);
-  params.comm_latency =
-      Duration::microseconds(flags.get_int("comm_us", 322));
+  const auto options = bench::BenchOptions::from_flags(flags);
 
   std::printf(
       "Figure 6: LB Strategy Comparison (imbalanced workloads, Sec 7.2)\n"
       "%d task sets, 3 loaded processors (0.7 each) + 2 replica processors,\n"
       "1-3 subtasks/task, horizon %llds\n\n",
-      params.seeds,
-      static_cast<long long>(params.horizon.usec() / 1000000));
+      options.seeds,
+      static_cast<long long>(options.params.horizon.usec() / 1000000));
 
-  const auto results = bench::run_matrix(core::valid_combinations(),
-                                         workload::imbalanced_workload_shape(),
-                                         params);
+  sweep::Grid grid;
+  grid.combos = core::valid_combinations();
+  grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
+  const sweep::Report report =
+      bench::run_grid("fig6_imbalanced", grid, options);
+
   auto mean_of = [&](const std::string& label) {
-    for (const auto& r : results) {
-      if (r.label == label) return r.ratio.mean();
-    }
-    return 0.0;
+    return report.mean_accept_ratio(label);
   };
 
   std::printf("%-7s %-7s %-44s\n", "combo", "mean", "");
-  for (const auto& r : results) {
-    std::printf("%-7s %.4f  |%s|\n", r.label.c_str(), r.ratio.mean(),
-                bench::bar(r.ratio.mean()).c_str());
+  for (const auto& agg : report.aggregates()) {
+    std::printf("%-7s %.4f  |%s|\n", agg.combo.c_str(),
+                agg.accept_ratio.mean(),
+                bench::bar(agg.accept_ratio.mean()).c_str());
   }
 
   // Per-group LB effect: hold (AC, IR) fixed, vary LB none -> task -> job.
@@ -74,5 +69,5 @@ int main(int argc, char** argv) {
       "Paper check: not much difference between LB per task and per job: "
       "%s\n",
       per_job_close ? "YES" : "NO");
-  return 0;
+  return bench::finish(report, options);
 }

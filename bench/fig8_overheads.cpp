@@ -9,11 +9,13 @@
 //      one way, 100 Mbps switched Ethernet), which reconstructs the paper's
 //      regime where service delays stay under 2 ms.
 //
-// Flags: --iterations=N --resident_jobs=N
+// Flags: --iterations=N --resident_jobs=N --json_out=PATH
 #include <cstdio>
 
 #include "rt/overhead_harness.h"
+#include "sweep/report.h"
 #include "util/flags.h"
+#include "util/json.h"
 
 using namespace rtcm;
 
@@ -85,5 +87,56 @@ int main(int argc, char** argv) {
   std::printf(
       "Paper check: all service delays below 2 ms in the paper regime: %s\n",
       under_2ms ? "YES" : "NO");
+
+  // Machine-readable report.  This bench measures host wall times, not a
+  // deterministic grid, so it shares only the report envelope with the
+  // sweep-engine benches; it carries no "cells"/"aggregates" sections, and
+  // the regression comparator therefore only schema-checks it — overhead
+  // timings are tracked through the uploaded CI artifacts, not gated.
+  const std::string json_out = flags.get_string("json_out", "");
+  if (!json_out.empty()) {
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", sweep::kReportSchemaVersion);
+    doc.set("name", "fig8_overheads");
+    doc.set("git_sha", sweep::git_head_sha());
+    json::Value json_params = json::Value::object();
+    json_params.set("iterations",
+                    static_cast<std::int64_t>(params.iterations));
+    json_params.set("resident_jobs",
+                    static_cast<std::int64_t>(params.resident_jobs));
+    doc.set("params", json_params);
+    json::Value operations = json::Value::array();
+    for (const auto& op : ops) {
+      json::Value entry = json::Value::object();
+      entry.set("name", op.name);
+      entry.set("mean_us", op.samples->mean());
+      entry.set("max_us", op.samples->max());
+      operations.push_back(std::move(entry));
+    }
+    doc.set("operations", operations);
+    json::Value rows = json::Value::array();
+    for (const auto& row : paper_rows) {
+      json::Value entry = json::Value::object();
+      entry.set("name", row.name);
+      entry.set("formula", row.formula);
+      entry.set("mean_us", row.mean_us);
+      entry.set("max_us", row.max_us);
+      rows.push_back(std::move(entry));
+    }
+    doc.set("rows_paper_comm", rows);
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    const std::string text = doc.dump();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                    text.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", json_out.c_str());
+  }
   return 0;
 }

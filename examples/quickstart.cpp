@@ -66,14 +66,14 @@ int main() {
               runtime.app_processors().size(),
               runtime.task_manager().to_string().c_str());
 
-  // --- 4. Drive ---------------------------------------------------------------
+  // --- 4. Drive --------------------------------------------------------------
   Rng rng(2024);
   const Time horizon(Duration::seconds(30).usec());
   runtime.inject_arrivals(
       workload::generate_arrivals(runtime.tasks(), horizon, rng));
   runtime.run_until(horizon + Duration::seconds(5));
 
-  // --- 5. Inspect ---------------------------------------------------------------
+  // --- 5. Inspect ------------------------------------------------------------
   std::printf("\n%s\n", runtime.metrics().render().c_str());
   std::printf("admission tests run: %llu\n",
               static_cast<unsigned long long>(

@@ -1,32 +1,66 @@
 #!/usr/bin/env bash
-# Run every self-timed benchmark binary (the paper-figure reproductions and
-# ablations) from an existing build tree.  Pass-through arguments go to each
-# bench, e.g. `scripts/run_benches.sh --seeds 3` for a quick pass.
+# Run every benchmark binary from an existing build tree and collect their
+# machine-readable reports (BENCH_<name>.json) into a report directory.
+# Pass-through arguments go to each sweep bench, e.g.
+# `scripts/run_benches.sh --seeds=3 --threads=0` for a quick parallel pass.
 #
-# Usage: scripts/run_benches.sh [--build-dir DIR] [bench args...]
-set -euo pipefail
+# Any bench exiting nonzero fails the whole script (after running the rest),
+# so CI can gate on it.
+#
+# Usage: scripts/run_benches.sh [--build-dir DIR] [--report-dir DIR] [bench args...]
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="build"
-if [[ "${1:-}" == "--build-dir" ]]; then
-  BUILD_DIR="$2"
-  shift 2
-fi
+REPORT_DIR="bench_reports"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --report-dir) REPORT_DIR="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   echo "build tree '${BUILD_DIR}' not found; run scripts/verify.sh first" >&2
   exit 1
 fi
+mkdir -p "${REPORT_DIR}"
+# Drop stale reports (renamed/removed benches) so the collected set always
+# reflects this run.
+rm -f "${REPORT_DIR}"/BENCH_*.json
 
+FAILED=()
 shopt -s nullglob
 for bench in "${BUILD_DIR}"/bench_*; do
-  [[ -x "${bench}" ]] || continue
-  echo "== ${bench##*/} =="
-  case "${bench##*/}" in
-    # Google-Benchmark binaries reject the self-timed benches' flags
-    # (and exit 1 on unknown ones); run them with their own defaults.
-    bench_admission_micro) "${bench}" ;;
-    *) "${bench}" "$@" ;;
+  [[ -x "${bench}" && ! -d "${bench}" ]] || continue
+  name="${bench##*/}"
+  name="${name#bench_}"
+  echo "== bench_${name} =="
+  case "${name}" in
+    # Google-Benchmark binaries reject the sweep benches' flags (and exit 1
+    # on unknown ones); run them with their own JSON output flags instead.
+    admission_micro)
+      "${bench}" \
+        "--benchmark_out=${REPORT_DIR}/BENCH_${name}.json" \
+        --benchmark_out_format=json
+      ;;
+    *)
+      "${bench}" "--json_out=${REPORT_DIR}/BENCH_${name}.json" "$@"
+      ;;
   esac
+  status=$?
+  if [[ ${status} -ne 0 ]]; then
+    echo "bench_${name} FAILED with exit code ${status}" >&2
+    FAILED+=("bench_${name}")
+  fi
   echo
 done
+
+echo "reports collected in ${REPORT_DIR}/:"
+ls -1 "${REPORT_DIR}"/BENCH_*.json 2>/dev/null || echo "  (none)"
+
+if [[ ${#FAILED[@]} -gt 0 ]]; then
+  echo "FAILED benches: ${FAILED[*]}" >&2
+  exit 1
+fi

@@ -32,7 +32,9 @@ class AttributeMap {
   void set_double(const std::string& name, double v) {
     set(name, AttributeValue(v));
   }
-  void set_bool(const std::string& name, bool v) { set(name, AttributeValue(v)); }
+  void set_bool(const std::string& name, bool v) {
+    set(name, AttributeValue(v));
+  }
   /// Durations are stored as int64 microseconds.
   void set_duration(const std::string& name, Duration d) {
     set(name, AttributeValue(d.usec()));

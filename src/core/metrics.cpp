@@ -53,7 +53,8 @@ void MetricsCollector::job_completed(TaskId task, JobId job, Time released,
   }
   const auto it = arrival_times_.find(job);
   if (it != arrival_times_.end()) {
-    const double response_ms = (completed - it->second.second).as_milliseconds();
+    const double response_ms =
+        (completed - it->second.second).as_milliseconds();
     tm.response_ms.add(response_ms);
     total_.response_ms.add(response_ms);
     arrival_times_.erase(it);

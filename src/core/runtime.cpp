@@ -107,7 +107,8 @@ Status SystemRuntime::assemble_infrastructure() {
         config_.loopback_latency);
   }
   network_ = std::make_unique<sim::Network>(sim_, std::move(latency_model));
-  federation_ = std::make_unique<events::FederatedEventChannel>(sim_, *network_);
+  federation_ =
+      std::make_unique<events::FederatedEventChannel>(sim_, *network_);
 
   std::vector<ProcessorId> all = app_processors_;
   all.push_back(manager_);
@@ -295,7 +296,8 @@ Status SystemRuntime::install_application_components() {
                       static_cast<std::int64_t>(j));
         attrs.set_duration(SubtaskComponentBase::kExecutionAttr, st.execution);
         attrs.set_int(SubtaskComponentBase::kPriorityAttr, priority.level());
-        attrs.set_string(SubtaskComponentBase::kIrModeAttr, ir_attr(config_.strategies.ir));
+        attrs.set_string(SubtaskComponentBase::kIrModeAttr,
+                         ir_attr(config_.strategies.ir));
         if (Status s = component.value()->configure(attrs); !s.is_ok()) {
           return s;
         }

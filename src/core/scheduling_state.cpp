@@ -82,7 +82,8 @@ const SchedulingState::TaskReservation* SchedulingState::reservation(
 std::vector<ProcessorId> SchedulingState::release_reservation(
     const sched::TaskSpec& spec) {
   const auto it = reservations_.find(spec.id);
-  assert(it != reservations_.end() && "releasing a reservation that is not held");
+  assert(it != reservations_.end() &&
+         "releasing a reservation that is not held");
   for (const sched::ContributionId c : it->second.contributions) {
     (void)ledger_.remove(c);
   }

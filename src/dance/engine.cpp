@@ -71,7 +71,8 @@ Result<ExecutionManager::LaunchReport> ExecutionManager::launch(
                       conn.target_instance + "' has no facet '" + conn.facet +
                       "'");
     }
-    if (Status s = source->connect_receptacle(conn.receptacle, std::move(facet));
+    if (Status s =
+            source->connect_receptacle(conn.receptacle, std::move(facet));
         !s.is_ok()) {
       return R::error("connection '" + conn.name + "': " + s.message());
     }

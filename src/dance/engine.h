@@ -33,7 +33,8 @@ struct NodeImplementationInfo {
 /// Installs one node's component instances into its container.
 class NodeApplication {
  public:
-  NodeApplication(ccm::Container& container, const ccm::ComponentFactory& factory)
+  NodeApplication(ccm::Container& container,
+                  const ccm::ComponentFactory& factory)
       : container_(container), factory_(factory) {}
 
   /// create -> set_configuration -> install.  On success the installed

@@ -205,7 +205,9 @@ class Parser {
       const std::string attr = parse_name();
       if (attr.empty()) return error("malformed attribute in <" + node.name);
       skip_whitespace();
-      if (eof() || peek() != '=') return error("attribute '" + attr + "' missing '='");
+      if (eof() || peek() != '=') {
+        return error("attribute '" + attr + "' missing '='");
+      }
       ++pos_;
       skip_whitespace();
       if (eof() || (peek() != '"' && peek() != '\'')) {

@@ -42,7 +42,8 @@ Result<PingPongResult> measure_loopback_delay(std::size_t iterations,
   close(fds[1]);
 
   if (result.one_way_us.empty()) {
-    return Result<PingPongResult>::error("loopback measurement produced no samples");
+    return Result<PingPongResult>::error(
+        "loopback measurement produced no samples");
   }
   return result;
 }

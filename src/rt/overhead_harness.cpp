@@ -203,7 +203,8 @@ OverheadReport measure_overheads(const OverheadParams& params) {
 
   // Operation (8): IdleReset delivery -> synthetic utilization update.
   {
-    auto& manager_channel = runtime.federation().channel(runtime.task_manager());
+    auto& manager_channel =
+        runtime.federation().channel(runtime.task_manager());
     const sched::TaskSpec& spec = runtime.tasks().tasks().front();
     const ProcessorId arrival = spec.subtasks.front().primary;
     for (std::size_t i = 0; i < params.iterations; ++i) {

@@ -26,8 +26,9 @@ class Stopwatch {
 
   /// Elapsed microseconds as a double (sub-microsecond resolution).
   [[nodiscard]] double elapsed_us() const {
-    return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
-               clock::now() - start_)
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::micro>>(clock::now() -
+                                                          start_)
         .count();
   }
 

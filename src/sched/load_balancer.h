@@ -30,7 +30,8 @@ enum class PlacementPolicy {
 /// with the caller's RNG.
 class LoadBalancer {
  public:
-  explicit LoadBalancer(PlacementPolicy policy = PlacementPolicy::kLowestUtilization)
+  explicit LoadBalancer(
+      PlacementPolicy policy = PlacementPolicy::kLowestUtilization)
       : policy_(policy) {}
 
   void set_random_pick(std::function<std::size_t(std::size_t)> pick) {

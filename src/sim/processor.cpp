@@ -62,9 +62,11 @@ std::optional<WorkItem> Processor::pop_ready() {
   if (ready_.empty()) return std::nullopt;
   auto best = ready_.begin();
   for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
-    const bool more_urgent = it->second.priority.preempts(best->second.priority);
-    const bool same_and_earlier = it->second.priority == best->second.priority &&
-                                  it->first < best->first;
+    const bool more_urgent =
+        it->second.priority.preempts(best->second.priority);
+    const bool same_and_earlier =
+        it->second.priority == best->second.priority &&
+        it->first < best->first;
     if (more_urgent || same_and_earlier) best = it;
   }
   WorkItem item = std::move(best->second);

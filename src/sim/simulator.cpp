@@ -12,7 +12,8 @@ EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
   return EventHandle(at.usec(), seq);
 }
 
-EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_after(Duration delay,
+                                      std::function<void()> fn) {
   assert(!delay.is_negative());
   return schedule_at(now_ + delay, std::move(fn));
 }

@@ -1,0 +1,114 @@
+#include "sweep/sweep.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "workload/arrival.h"
+
+namespace rtcm::sweep {
+
+std::vector<Cell> Grid::cells() const {
+  std::vector<Cell> out;
+  out.reserve(combos.size() * shapes.size() * variants.size() *
+              static_cast<std::size_t>(seeds > 0 ? seeds : 0));
+  for (const auto& combo : combos) {
+    for (const auto& shape : shapes) {
+      for (const auto& variant : variants) {
+        for (int seed = 1; seed <= seeds; ++seed) {
+          out.push_back(Cell{combo.label(), shape.name, variant,
+                             static_cast<std::uint64_t>(seed)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CellResult run_cell(const Cell& cell, const workload::WorkloadShape& shape,
+                    const SweepParams& params) {
+  CellResult result;
+  result.cell = cell;
+  const auto started = std::chrono::steady_clock::now();
+
+  Rng rng(cell.seed);
+  workload::WorkloadShape seeded_shape = shape;
+  seeded_shape.aperiodic_interarrival_factor =
+      params.aperiodic_interarrival_factor;
+  auto tasks = workload::generate_workload(seeded_shape, rng);
+
+  core::SystemConfig config;
+  const auto combo = core::StrategyCombination::parse(cell.combo);
+  if (!combo.is_ok()) {
+    result.error = combo.message();
+    return result;
+  }
+  config.strategies = combo.value();
+  config.comm_latency = params.comm_latency;
+  if (params.configure) params.configure(cell, config);
+
+  core::SystemRuntime runtime(std::move(config), std::move(tasks));
+  if (Status status = runtime.assemble(); !status.is_ok()) {
+    result.error = status.message();
+    return result;
+  }
+  Rng arrival_rng = rng.fork(1);
+  const Time horizon = Time::epoch() + params.horizon;
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  runtime.run_until(horizon + params.drain);
+
+  result.accept_ratio = runtime.metrics().accepted_utilization_ratio();
+  result.deadline_misses = runtime.metrics().total().deadline_misses;
+  OnlineStats response;
+  for (const auto& [task, tm] : runtime.metrics().per_task()) {
+    if (runtime.tasks().find(task)->kind == sched::TaskKind::kAperiodic) {
+      response.merge(tm.response_ms);
+    }
+  }
+  result.aperiodic_response_ms = response.count() > 0 ? response.mean() : 0.0;
+
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+std::vector<CellResult> run_sweep(const Grid& grid, const SweepParams& params,
+                                  const SweepOptions& options) {
+  const std::vector<Cell> cells = grid.cells();
+  std::vector<CellResult> results(cells.size());
+
+  // Shape lookup is read-only during the sweep; build it once up front.
+  std::vector<const workload::WorkloadShape*> cell_shapes(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const workload::WorkloadShape* found = nullptr;
+    for (const auto& spec : grid.shapes) {
+      if (spec.name == cells[i].shape) {
+        found = &spec.shape;
+        break;
+      }
+    }
+    cell_shapes[i] = found;
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    jobs.push_back([&cells, &cell_shapes, &results, &params, i] {
+      if (cell_shapes[i] == nullptr) {
+        results[i].cell = cells[i];
+        results[i].error = "unknown workload shape: " + cells[i].shape;
+        return;
+      }
+      results[i] = run_cell(cells[i], *cell_shapes[i], params);
+    });
+  }
+
+  ThreadPool pool(options.threads);
+  pool.run(std::move(jobs));
+  return results;
+}
+
+}  // namespace rtcm::sweep

@@ -1,0 +1,102 @@
+// Parallel scenario-sweep engine.
+//
+// The paper's evaluation is a grid of (strategy combination x workload
+// shape x seed) experiments (Figures 5/6 run 15 combinations x 10 seeds
+// each).  This engine models that grid explicitly and shards it across a
+// work-stealing thread pool: every cell owns its own Rng, workload,
+// Simulator and SystemRuntime, so a cell's result is a pure function of its
+// coordinates — the PR-1 determinism contract (same seed => byte-identical
+// trace) extends to "same grid => byte-identical report, at any thread
+// count".  Results land in a pre-sized vector indexed by cell order, so
+// thread interleaving never reorders output.
+//
+// Cells carry an optional free-form `variant` coordinate for ablations that
+// sweep something other than the strategy combination (LB placement policy,
+// deferrable-server sizing); the `configure` hook maps a variant onto the
+// SystemConfig.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/strategies.h"
+#include "sim/network.h"
+#include "util/time.h"
+#include "workload/generator.h"
+
+namespace rtcm::sweep {
+
+/// Coordinates of one experiment in the grid.
+struct Cell {
+  std::string combo;    ///< Strategy label, e.g. "J_T_N".
+  std::string shape;    ///< Workload shape name, e.g. "random".
+  std::string variant;  ///< Ablation dimension; empty for plain sweeps.
+  std::uint64_t seed = 1;
+};
+
+/// Measured outcome of one cell.
+struct CellResult {
+  Cell cell;
+  double accept_ratio = 0.0;
+  std::uint64_t deadline_misses = 0;
+  /// Mean end-to-end response over the aperiodic tasks' per-task means.
+  double aperiodic_response_ms = 0.0;
+  /// Host wall time of the cell simulation (non-deterministic; excluded
+  /// from the deterministic report form).
+  double wall_ms = 0.0;
+  /// Non-empty when the cell failed to assemble; metrics are zero then.
+  std::string error;
+};
+
+/// A named workload shape (the grid's second axis).
+struct ShapeSpec {
+  std::string name;
+  workload::WorkloadShape shape;
+};
+
+/// The experiment grid: combos x shapes x variants x seeds 1..N.
+struct Grid {
+  std::vector<core::StrategyCombination> combos;
+  std::vector<ShapeSpec> shapes;
+  /// Ablation variants; leave as the default single empty entry for plain
+  /// (combo x shape x seed) sweeps.
+  std::vector<std::string> variants = {""};
+  int seeds = 10;
+
+  /// All cells in canonical order: combo-major, then shape, variant, seed.
+  /// This order is the report's cell order regardless of thread count.
+  [[nodiscard]] std::vector<Cell> cells() const;
+};
+
+/// Simulation parameters shared by every cell.
+struct SweepParams {
+  Duration horizon = Duration::seconds(100);
+  Duration drain = Duration::seconds(15);
+  Duration comm_latency = sim::Network::kPaperOneWayDelay;
+  double aperiodic_interarrival_factor = 1.0;
+  /// Applied to each cell's SystemConfig after the strategy combination is
+  /// set; ablations translate `cell.variant` into config here.  Must be
+  /// thread-safe (it runs concurrently on different cells).
+  std::function<void(const Cell&, core::SystemConfig&)> configure;
+};
+
+struct SweepOptions {
+  /// 0 = hardware concurrency; 1 = inline on the calling thread.
+  std::size_t threads = 1;
+};
+
+/// Run one cell in isolation: fresh Rng, workload, runtime, simulator.
+[[nodiscard]] CellResult run_cell(const Cell& cell,
+                                  const workload::WorkloadShape& shape,
+                                  const SweepParams& params);
+
+/// Run every cell of the grid, sharded across a work-stealing pool.
+/// Results are in Grid::cells() order.
+[[nodiscard]] std::vector<CellResult> run_sweep(
+    const Grid& grid, const SweepParams& params,
+    const SweepOptions& options = {});
+
+}  // namespace rtcm::sweep

@@ -13,7 +13,9 @@ namespace rtcm {
 class Status {
  public:
   static Status ok() { return Status(); }
-  static Status error(std::string message) { return Status(std::move(message)); }
+  static Status error(std::string message) {
+    return Status(std::move(message));
+  }
 
   [[nodiscard]] bool is_ok() const { return !message_.has_value(); }
   [[nodiscard]] const std::string& message() const {

@@ -34,7 +34,8 @@ bool Rng::bernoulli(double p) {
 
 std::size_t Rng::index(std::size_t n) {
   assert(n > 0);
-  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
 }
 
 std::vector<double> Rng::proportions(std::size_t n) {

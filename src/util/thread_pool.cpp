@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace rtcm {
+namespace {
+
+/// Per-batch work-stealing state.  Lives on run()'s stack; workers hold a
+/// reference, and run() joins them before it returns.
+struct Batch {
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  explicit Batch(std::size_t workers) : queues(workers) {}
+
+  /// Pop from the back of the worker's own deque (LIFO).
+  [[nodiscard]] std::function<void()> pop_local(std::size_t worker) {
+    WorkerQueue& q = queues[worker];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.jobs.empty()) return nullptr;
+    std::function<void()> job = std::move(q.jobs.back());
+    q.jobs.pop_back();
+    return job;
+  }
+
+  /// Steal from the front of another worker's deque (FIFO), scanning
+  /// victims round-robin starting after the thief.
+  [[nodiscard]] std::function<void()> steal(std::size_t thief) {
+    for (std::size_t i = 1; i < queues.size(); ++i) {
+      WorkerQueue& q = queues[(thief + i) % queues.size()];
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.jobs.empty()) continue;
+      std::function<void()> job = std::move(q.jobs.front());
+      q.jobs.pop_front();
+      return job;
+    }
+    return nullptr;
+  }
+
+  /// No job is enqueued after the batch starts, so a worker that finds its
+  /// own deque and every victim's deque empty is done.
+  void worker_loop(std::size_t worker) {
+    while (true) {
+      std::function<void()> job = pop_local(worker);
+      if (!job) job = steal(worker);
+      if (!job) return;
+      job();
+    }
+  }
+
+  std::vector<WorkerQueue> queues;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::thread::hardware_concurrency();
+    if (threads_ == 0) threads_ = 1;
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> jobs) {
+  if (threads_ == 1) {
+    for (auto& job : jobs) job();
+    return;
+  }
+
+  Batch batch(threads_);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    batch.queues[i % threads_].jobs.push_back(std::move(jobs[i]));
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads_);
+  for (std::size_t w = 0; w < threads_; ++w) {
+    workers.emplace_back([&batch, w] { batch.worker_loop(w); });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace rtcm

@@ -1,0 +1,47 @@
+// Work-stealing thread pool for embarrassingly parallel sweeps.
+//
+// Each worker owns a deque of pending jobs: it pops from the back of its
+// own deque (LIFO, cache-friendly) and steals from the front of a victim's
+// deque (FIFO, oldest work first) when its own runs dry.  Jobs are plain
+// std::function<void()> closures; determinism is the caller's problem —
+// the sweep engine guarantees it by giving every job its own Rng and
+// simulator and by indexing results, so the interleaving chosen by the
+// stealer never shows up in the output.
+//
+// The pool is intentionally simple (mutex-per-deque, no lock-free Chase-Lev
+// machinery): sweep cells run whole simulations lasting milliseconds each,
+// so queue overhead is noise.  `run(jobs)` is a batch API — submit
+// everything, wait for all of it — which is the only shape the sweep driver
+// needs, and it makes termination trivial: nothing enqueues after start, so
+// a worker that finds every deque empty can retire.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rtcm {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_; }
+
+  /// Run every job to completion before returning.  Jobs are dealt
+  /// round-robin across worker deques; idle workers steal.  With
+  /// thread_count() == 1 the jobs run inline on the calling thread, in
+  /// order — no worker threads are spawned, which keeps single-threaded
+  /// runs trivially debuggable.  Reentrant calls (a job calling run()) are
+  /// not supported.
+  void run(std::vector<std::function<void()>> jobs);
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace rtcm

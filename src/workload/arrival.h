@@ -27,7 +27,7 @@ namespace rtcm::workload {
 
 /// Total utilization-weighted arrival mass of a trace: the denominator of
 /// the accepted utilization ratio, computed offline.
-[[nodiscard]] double arrival_utilization(const sched::TaskSet& tasks,
-                                         const std::vector<core::Arrival>& trace);
+[[nodiscard]] double arrival_utilization(
+    const sched::TaskSet& tasks, const std::vector<core::Arrival>& trace);
 
 }  // namespace rtcm::workload

@@ -83,7 +83,8 @@ sched::TaskSet generate_workload(const WorkloadShape& shape, Rng& rng) {
         static_cast<std::int64_t>(shape.max_subtasks)));
     protos[i].stage_processor.resize(stages);
     for (auto& proc : protos[i].stage_processor) {
-      proc = shape.primary_processors[rng.index(shape.primary_processors.size())];
+      proc = shape.primary_processors[rng.index(
+          shape.primary_processors.size())];
     }
   }
 

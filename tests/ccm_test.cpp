@@ -8,7 +8,7 @@
 namespace rtcm::ccm {
 namespace {
 
-// --- AttributeMap ----------------------------------------------------------------
+// --- AttributeMap ------------------------------------------------------------
 
 TEST(AttributeMapTest, TypedRoundTrip) {
   AttributeMap attrs;
@@ -82,7 +82,7 @@ TEST(AttributeMapTest, NamesSorted) {
   EXPECT_EQ(attrs.names(), (std::vector<std::string>{"a", "b"}));
 }
 
-// --- Component lifecycle ----------------------------------------------------------
+// --- Component lifecycle -----------------------------------------------------
 
 /// Interface + component used to exercise ports.
 class Greeter {
@@ -243,7 +243,7 @@ TEST_F(NodeFixture, PortIntrospection) {
   EXPECT_EQ(user.event_sink_names(), (std::vector<std::string>{"In"}));
 }
 
-// --- Container --------------------------------------------------------------------
+// --- Container ---------------------------------------------------------------
 
 TEST_F(NodeFixture, InstallRejectsDuplicates) {
   ASSERT_TRUE(container.install("x", std::make_unique<TestUser>()).is_ok());
@@ -288,7 +288,7 @@ TEST_F(NodeFixture, ContextExposesProcessor) {
             &federation.channel(ProcessorId(0)));
 }
 
-// --- Factory ---------------------------------------------------------------------
+// --- Factory -----------------------------------------------------------------
 
 TEST(FactoryTest, RegisterAndCreate) {
   ComponentFactory factory;

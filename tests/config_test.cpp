@@ -21,7 +21,7 @@ task archiver periodic deadline=5s period=5s
   subtask exec=100ms primary=P2
 )";
 
-// --- parse_duration ---------------------------------------------------------------
+// --- parse_duration ----------------------------------------------------------
 
 TEST(ParseDurationTest, Units) {
   EXPECT_EQ(parse_duration("250ms").value(), Duration::milliseconds(250));
@@ -38,7 +38,7 @@ TEST(ParseDurationTest, Malformed) {
   EXPECT_FALSE(parse_duration("-5ms").is_ok());
 }
 
-// --- workload spec -----------------------------------------------------------------
+// --- workload spec -----------------------------------------------------------
 
 TEST(WorkloadSpecTest, ParsesTasksAndSubtasks) {
   const auto parsed = parse_workload_spec(kSpec);
@@ -96,7 +96,8 @@ TEST(WorkloadSpecTest, RoundTrip) {
 
 TEST(WorkloadSpecTest, ErrorsCarryLineNumbers) {
   const auto r = parse_workload_spec(
-      "task t periodic deadline=1s period=1s\n  subtask exec=bogus primary=P0\n");
+      "task t periodic deadline=1s period=1s\n"
+      "  subtask exec=bogus primary=P0\n");
   EXPECT_FALSE(r.is_ok());
   EXPECT_NE(r.message().find("line 2"), std::string::npos);
 }
@@ -114,7 +115,7 @@ TEST(WorkloadSpecTest, RejectsBadInput) {
                    .is_ok());
 }
 
-// --- questionnaire -----------------------------------------------------------------
+// --- questionnaire -----------------------------------------------------------
 
 TEST(QuestionnaireTest, ParseAnswers) {
   const auto a = parse_answers("yes", "no", "y", "PJ");
@@ -150,7 +151,7 @@ TEST(QuestionnaireTest, RenderListsAllFourQuestions) {
   EXPECT_NE(q.find("job skipping"), std::string::npos);
 }
 
-// --- plan builder ------------------------------------------------------------------
+// --- plan builder ------------------------------------------------------------
 
 TEST(PlanBuilderTest, BuildsFullTopology) {
   const auto tasks = parse_workload_spec(kSpec);
@@ -209,7 +210,7 @@ TEST(PlanBuilderTest, RejectsEmptyTasks) {
   EXPECT_FALSE(build_deployment_plan(input).is_ok());
 }
 
-// --- engine ------------------------------------------------------------------------
+// --- engine ------------------------------------------------------------------
 
 TEST(EngineTest, ConfigureMapsFigure4Example) {
   EngineInput input;

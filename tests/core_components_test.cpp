@@ -34,7 +34,7 @@ TaskSet one_periodic_two_stage() {
   return set;
 }
 
-// --- Assembly ------------------------------------------------------------------
+// --- Assembly ----------------------------------------------------------------
 
 TEST(RuntimeAssemblyTest, BuildsExpectedTopology) {
   auto rt = make_runtime("T_T_T", one_periodic_two_stage());
@@ -108,7 +108,7 @@ TEST(RuntimeAssemblyTest, EdmsPrioritiesExposed) {
   EXPECT_EQ(rt->priorities().at(TaskId(0)), Priority(1));
 }
 
-// --- End-to-end single job --------------------------------------------------------
+// --- End-to-end single job ---------------------------------------------------
 
 TEST(PipelineTest, SingleJobFlowsThroughChain) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
@@ -149,7 +149,7 @@ TEST(PipelineTest, TaskEffectorHoldsUntilAccept) {
   EXPECT_EQ(rt->metrics().total().releases, 1u);
 }
 
-// --- AC per Task semantics ---------------------------------------------------------
+// --- AC per Task semantics ---------------------------------------------------
 
 TEST(AcPerTaskTest, ReservesOnceAndBypassesLaterTests) {
   auto rt = make_runtime("T_N_N", one_periodic_two_stage());
@@ -202,7 +202,7 @@ TEST(AcPerTaskTest, AperiodicJobsStillTestedPerArrival) {
   EXPECT_EQ(rt->metrics().total().releases, 4u);
 }
 
-// --- AC per Job semantics -----------------------------------------------------------
+// --- AC per Job semantics ----------------------------------------------------
 
 TEST(AcPerJobTest, EveryJobTested) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
@@ -262,7 +262,7 @@ TEST(AcPerJobTest, OverloadSkipsJobsInsteadOfKillingTask) {
   EXPECT_EQ(rt->admission_control()->counters().admission_tests, 20u);
 }
 
-// --- Idle resetting ------------------------------------------------------------------
+// --- Idle resetting ----------------------------------------------------------
 
 TEST(IdleResetTest, PerJobResetsPeriodicContributions) {
   auto rt = make_runtime("J_J_N", one_periodic_two_stage());
@@ -339,7 +339,7 @@ TEST(IdleResetTest, ResetEnablesMoreAdmissions) {
   }
 }
 
-// --- Load balancing -----------------------------------------------------------------
+// --- Load balancing ----------------------------------------------------------
 
 TEST(LoadBalancingTest, ReallocatesToIdleReplica) {
   TaskSet set;
@@ -415,7 +415,7 @@ TEST(LoadBalancingTest, ReservationMoveUnderAcTaskLbJob) {
   EXPECT_EQ(reservation->placement[0], ProcessorId(1));
 }
 
-// --- EDMS execution -----------------------------------------------------------------
+// --- EDMS execution ----------------------------------------------------------
 
 TEST(EdmsExecutionTest, ShorterDeadlineTaskPreempts) {
   TaskSet set;
@@ -437,7 +437,7 @@ TEST(EdmsExecutionTest, ShorterDeadlineTaskPreempts) {
               1.0);
 }
 
-// --- Metrics -------------------------------------------------------------------------
+// --- Metrics -----------------------------------------------------------------
 
 TEST(MetricsTest, AcceptedUtilizationRatioWeighsByUtilization) {
   TaskSet set;
@@ -457,7 +457,7 @@ TEST(MetricsTest, AcceptedUtilizationRatioWeighsByUtilization) {
   EXPECT_NEAR(rt->metrics().total().released_utilization, 0.5, 1e-9);
 }
 
-// --- Runtime reconfiguration (paper §5) ------------------------------------------
+// --- Runtime reconfiguration (paper §5) --------------------------------------
 
 TEST(RuntimeReconfigurationTest, TaskEffectorModeChangesAtRuntime) {
   // Start in PJ mode under AC per Task; every job does the AC round trip.
@@ -507,7 +507,7 @@ TEST(MetricsTest, RenderContainsHeadlineNumbers) {
   EXPECT_NE(text.find("T0"), std::string::npos);
 }
 
-// --- AC counter conservation under bursty overload ------------------------------------
+// --- AC counter conservation under bursty overload ---------------------------
 
 TEST(AcCountersTest, CountersPartitionArrivalsUnderBursts) {
   // Every arrival reaching the AC is exactly one of: freshly tested and

@@ -8,7 +8,7 @@
 namespace rtcm::core {
 namespace {
 
-// --- StrategyCombination (Figure 2, §4.5) -------------------------------------
+// --- StrategyCombination (Figure 2, §4.5) ------------------------------------
 
 TEST(StrategyTest, EighteenTotalCombinations) {
   EXPECT_EQ(all_combinations().size(), 18u);
@@ -88,7 +88,7 @@ TEST(StrategyTest, Names) {
   EXPECT_STREQ(to_string(LbStrategy::kPerJob), "LB per Job");
 }
 
-// --- Criteria mapping (Table 1 + §6 question 4) --------------------------------
+// --- Criteria mapping (Table 1 + §6 question 4) ------------------------------
 
 struct MappingCase {
   bool c1_job_skipping;

@@ -15,7 +15,7 @@
 namespace rtcm::dance {
 namespace {
 
-// --- XML parser/serializer ------------------------------------------------------
+// --- XML parser/serializer ---------------------------------------------------
 
 TEST(XmlTest, ParsesElementsAttributesText) {
   const auto parsed = parse_xml(
@@ -92,7 +92,7 @@ TEST(XmlTest, XmlEscape) {
   EXPECT_EQ(xml_escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
 }
 
-// --- DeploymentPlan validation ----------------------------------------------------
+// --- DeploymentPlan validation -----------------------------------------------
 
 DeploymentPlan small_plan() {
   DeploymentPlan plan;
@@ -161,7 +161,7 @@ TEST(PlanTest, RejectsDanglingConnections) {
   EXPECT_FALSE(plan.validate().is_ok());
 }
 
-// --- Plan <-> XML ------------------------------------------------------------------
+// --- Plan <-> XML ------------------------------------------------------------
 
 TEST(PlanXmlTest, RoundTripPreservesEverything) {
   const auto plan = small_plan();
@@ -224,7 +224,7 @@ TEST(PlanXmlTest, RejectsUnknownPropertyKind) {
   EXPECT_NE(r.message().find("tk_alien"), std::string::npos);
 }
 
-// --- ExecutionManager / PlanLauncher ------------------------------------------------
+// --- ExecutionManager / PlanLauncher -----------------------------------------
 
 /// Minimal component pair for launch-path tests.
 class Pingable {

@@ -18,7 +18,7 @@ namespace {
 using rtcm::testing::make_aperiodic;
 using rtcm::testing::make_periodic;
 
-// --- sim::DeferrableServer -----------------------------------------------------
+// --- sim::DeferrableServer ---------------------------------------------------
 
 struct ServerFixture : ::testing::Test {
   ServerFixture() : cpu(sim, ProcessorId(0)) {
@@ -143,7 +143,7 @@ TEST_F(ServerFixture, ReplenishmentDuringChunkGrantsBackToBackBudget) {
   EXPECT_EQ(done, Time(Duration::milliseconds(130).usec()));
 }
 
-// --- sched::DsAdmission -----------------------------------------------------------
+// --- sched::DsAdmission ------------------------------------------------------
 
 sched::DsServerConfig test_config() {
   sched::DsServerConfig config;
@@ -204,7 +204,7 @@ TEST(DsAdmissionTest, MultiHopSumsPerStage) {
             Duration::milliseconds(210));
 }
 
-// --- End-to-end DS mode -------------------------------------------------------------
+// --- End-to-end DS mode ------------------------------------------------------
 
 std::unique_ptr<core::SystemRuntime> make_ds_runtime(
     sched::TaskSet tasks, const std::string& combo = "J_T_N",

@@ -16,11 +16,12 @@ Event make_trigger(ProcessorId source, TaskId task, std::size_t stage,
                               Time(1000000), Time(0)}};
 }
 
-// --- Event --------------------------------------------------------------------
+// --- Event -------------------------------------------------------------------
 
 TEST(EventTest, TypeFromPayload) {
-  Event e{ProcessorId(0), Time(0),
-          TaskArrivePayload{TaskId(1), JobId(2), ProcessorId(0), Time(0), true}};
+  Event e{
+      ProcessorId(0), Time(0),
+      TaskArrivePayload{TaskId(1), JobId(2), ProcessorId(0), Time(0), true}};
   EXPECT_EQ(e.type(), EventType::kTaskArrive);
   e.payload = AcceptPayload{};
   EXPECT_EQ(e.type(), EventType::kAccept);
@@ -59,7 +60,7 @@ TEST(EventTypeSetTest, Contains) {
   EXPECT_FALSE(EventTypeSet{}.contains(EventType::kAccept));
 }
 
-// --- LocalEventChannel -----------------------------------------------------------
+// --- LocalEventChannel -------------------------------------------------------
 
 TEST(LocalChannelTest, DeliversToMatchingType) {
   LocalEventChannel channel(ProcessorId(0));
@@ -96,8 +97,10 @@ TEST(LocalChannelTest, MatchesQueriesWithoutDelivering) {
 TEST(LocalChannelTest, MultipleConsumersInSubscriptionOrder) {
   LocalEventChannel channel(ProcessorId(0));
   std::vector<int> order;
-  channel.subscribe({EventType::kAccept}, [&](const Event&) { order.push_back(1); });
-  channel.subscribe({EventType::kAccept}, [&](const Event&) { order.push_back(2); });
+  channel.subscribe({EventType::kAccept},
+                    [&](const Event&) { order.push_back(1); });
+  channel.subscribe({EventType::kAccept},
+                    [&](const Event&) { order.push_back(2); });
   channel.deliver(Event{ProcessorId(0), Time(0), AcceptPayload{}});
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
@@ -129,7 +132,7 @@ TEST(LocalChannelTest, ConsumerMaySubscribeDuringDelivery) {
   EXPECT_EQ(late_hits, 1);
 }
 
-// --- FederatedEventChannel --------------------------------------------------------
+// --- FederatedEventChannel ---------------------------------------------------
 
 class FederationFixture : public ::testing::Test {
  protected:

@@ -55,7 +55,7 @@ RunResult run_direct(const std::string& combo, std::uint64_t seed,
   return drive(rt, seed, horizon);
 }
 
-// --- DAnCE pipeline equivalence ---------------------------------------------------
+// --- DAnCE pipeline equivalence ----------------------------------------------
 
 TEST(DanceEquivalenceTest, PlanLaunchedSystemMatchesDirectAssembly) {
   const Time horizon(Duration::seconds(30).usec());
@@ -124,7 +124,7 @@ TEST(DanceEquivalenceTest, EngineLaunchMatchesDirectAssembly) {
   EXPECT_EQ(direct, launched);
 }
 
-// --- Deadline-guarantee property (AUB correctness end to end) ----------------------
+// --- Deadline-guarantee property (AUB correctness end to end) ----------------
 
 class DeadlineGuaranteeTest
     : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
@@ -151,7 +151,7 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
-// --- Jittered network ---------------------------------------------------------------
+// --- Jittered network --------------------------------------------------------
 
 TEST(JitteredNetworkTest, SystemHealthyUnderLatencyVariance) {
   // Base 322 us + up to 200 us per-message jitter.  Paper-scale deadlines
@@ -197,7 +197,7 @@ TEST(JitteredNetworkTest, JitterModelDrivenSimulationMeetsDeadlines) {
   EXPECT_GT(delivered_max - delivered_min, Duration(50));  // jitter visible
 }
 
-// --- Figure 5 orderings (reduced) ---------------------------------------------------
+// --- Figure 5 orderings (reduced) --------------------------------------------
 
 double mean_ratio(const std::string& combo,
                   const workload::WorkloadShape& shape, int seeds) {
@@ -233,7 +233,7 @@ TEST(Figure5ShapeTest, BalancedWorkloadMakesLbSecondary) {
   EXPECT_NEAR(lb_job, lb_none, 0.12);
 }
 
-// --- Figure 6 orderings (reduced) ---------------------------------------------------
+// --- Figure 6 orderings (reduced) --------------------------------------------
 
 TEST(Figure6ShapeTest, LoadBalancingWinsOnImbalancedWorkloads) {
   const auto shape = workload::imbalanced_workload_shape();
@@ -248,7 +248,7 @@ TEST(Figure6ShapeTest, LoadBalancingWinsOnImbalancedWorkloads) {
   }
 }
 
-// --- Poisson background plus bursty foreground ------------------------------------
+// --- Poisson background plus bursty foreground -------------------------------
 
 TEST(MixedLoadTest, BurstOverloadOnTopOfPoissonBackgroundStaysSafe) {
   // An imbalanced workload driving normal Poisson/periodic traffic, with one

@@ -41,7 +41,8 @@ TEST(MetricsTest, RatioIsReleasedOverArrivedUtilization) {
 TEST(MetricsTest, RatioWeighsTasksByUtilization) {
   MetricsCollector metrics;
   const auto heavy = util_half_task(0);
-  const auto light = make_periodic(1, Duration::milliseconds(100), {{1, 10000}});
+  const auto light =
+      make_periodic(1, Duration::milliseconds(100), {{1, 10000}});
   metrics.on_arrival(heavy, JobId(1), Time(0));
   metrics.on_arrival(light, JobId(2), Time(0));
   metrics.on_release(light, JobId(2), Time(5));

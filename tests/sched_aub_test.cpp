@@ -13,7 +13,7 @@ namespace {
 using rtcm::testing::make_aperiodic;
 using rtcm::testing::make_periodic;
 
-// --- UtilizationLedger ---------------------------------------------------------
+// --- UtilizationLedger -------------------------------------------------------
 
 TEST(LedgerTest, AddAndTotal) {
   UtilizationLedger ledger;
@@ -136,7 +136,7 @@ TEST(AubLhsTest, SaturatedProcessorIsUnsatisfiable) {
   EXPECT_GT(aub_lhs(ledger, {ProcessorId(0)}), 1e6);
 }
 
-// --- aub_admission_test -------------------------------------------------------
+// --- aub_admission_test ------------------------------------------------------
 
 TEST(AdmissionTest, EmptySystemAdmitsLightTask) {
   UtilizationLedger ledger;

@@ -15,7 +15,7 @@ namespace {
 using rtcm::testing::make_aperiodic;
 using rtcm::testing::make_periodic;
 
-// --- EDMS ---------------------------------------------------------------------
+// --- EDMS --------------------------------------------------------------------
 
 TEST(EdmsTest, ShorterDeadlineGetsMoreUrgentPriority) {
   std::vector<TaskSpec> tasks;
@@ -64,12 +64,13 @@ TEST(EdmsTest, DensePriorityLevels) {
 
 TEST(EdmsTest, TaskSetOverload) {
   TaskSet set;
-  ASSERT_TRUE(set.add(make_periodic(0, Duration::seconds(1), {{0, 1000}})).is_ok());
+  ASSERT_TRUE(
+      set.add(make_periodic(0, Duration::seconds(1), {{0, 1000}})).is_ok());
   const auto priorities = assign_edms_priorities(set);
   EXPECT_EQ(priorities.size(), 1u);
 }
 
-// --- LoadBalancer --------------------------------------------------------------
+// --- LoadBalancer ------------------------------------------------------------
 
 TEST(LoadBalancerTest, PicksLowestUtilizationReplica) {
   UtilizationLedger ledger;

@@ -31,8 +31,10 @@ TEST(TaskSpecTest, UtilizationIsExecOverDeadline) {
 
 TEST(TaskSetTest, AddAndFind) {
   TaskSet set;
-  EXPECT_TRUE(set.add(make_periodic(0, Duration::seconds(1), {{0, 1000}})).is_ok());
-  EXPECT_TRUE(set.add(make_aperiodic(1, Duration::seconds(2), {{1, 1000}})).is_ok());
+  EXPECT_TRUE(
+      set.add(make_periodic(0, Duration::seconds(1), {{0, 1000}})).is_ok());
+  EXPECT_TRUE(
+      set.add(make_aperiodic(1, Duration::seconds(2), {{1, 1000}})).is_ok());
   EXPECT_EQ(set.size(), 2u);
   EXPECT_EQ(set.periodic_count(), 1u);
   EXPECT_EQ(set.aperiodic_count(), 1u);
@@ -43,7 +45,8 @@ TEST(TaskSetTest, AddAndFind) {
 
 TEST(TaskSetTest, RejectsDuplicateIds) {
   TaskSet set;
-  EXPECT_TRUE(set.add(make_periodic(0, Duration::seconds(1), {{0, 1000}})).is_ok());
+  EXPECT_TRUE(
+      set.add(make_periodic(0, Duration::seconds(1), {{0, 1000}})).is_ok());
   const Status s = set.add(make_periodic(0, Duration::seconds(1), {{1, 1000}}));
   EXPECT_FALSE(s.is_ok());
   EXPECT_NE(s.message().find("duplicate"), std::string::npos);
@@ -103,8 +106,8 @@ TEST(TaskSetTest, ValidationRejectsInvalidId) {
 
 TEST(TaskSetTest, ProcessorsCoverPrimariesAndReplicas) {
   TaskSet set;
-  ASSERT_TRUE(
-      set.add(make_periodic(0, Duration::seconds(1), {{0, 1000, {3}}})).is_ok());
+  ASSERT_TRUE(set.add(make_periodic(0, Duration::seconds(1), {{0, 1000, {3}}}))
+                  .is_ok());
   ASSERT_TRUE(
       set.add(make_aperiodic(1, Duration::seconds(1), {{2, 1000}})).is_ok());
   const auto procs = set.processors();

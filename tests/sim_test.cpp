@@ -321,7 +321,8 @@ TEST(JitterLatencyTest, ZeroJitterIsConstant) {
 
 TEST(TraceTest, DisabledByDefault) {
   Trace trace;
-  trace.record({Time(1), TraceKind::kIdle, ProcessorId(0), TaskId(), JobId(), ""});
+  trace.record(
+      {Time(1), TraceKind::kIdle, ProcessorId(0), TaskId(), JobId(), ""});
   EXPECT_TRUE(trace.records().empty());
 }
 
@@ -344,7 +345,7 @@ TEST(TraceTest, RecordsAndFilters) {
   EXPECT_TRUE(trace.records().empty());
 }
 
-// --- Determinism property ------------------------------------------------------
+// --- Determinism property ----------------------------------------------------
 
 TEST(DeterminismTest, SameProgramSameTrace) {
   auto run = [] {

@@ -23,7 +23,7 @@ namespace {
 using rtcm::testing::make_aperiodic;
 using rtcm::testing::make_periodic;
 
-// --- All 15 combos on the §7.2 imbalanced workload ------------------------------
+// --- All 15 combos on the §7.2 imbalanced workload ---------------------------
 
 class ImbalancedComboTest : public ::testing::TestWithParam<std::string> {};
 
@@ -56,7 +56,7 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param;
     });
 
-// --- Golden event sequence ---------------------------------------------------------
+// --- Golden event sequence ---------------------------------------------------
 
 TEST(GoldenTraceTest, SingleJobLifecycleSequence) {
   // The exact Figure 3 flow for one admitted two-stage job: arrival ->
@@ -117,7 +117,7 @@ TEST(GoldenTraceTest, RejectedJobSequence) {
   EXPECT_EQ(kinds, expected);
 }
 
-// --- Jitter determinism --------------------------------------------------------------
+// --- Jitter determinism ------------------------------------------------------
 
 TEST(JitterDeterminismTest, SameJitterSeedSameMetrics) {
   auto run_once = [](std::uint64_t jitter_seed) {
@@ -144,7 +144,7 @@ TEST(JitterDeterminismTest, SameJitterSeedSameMetrics) {
   // must still be deterministic per seed — checked above).
 }
 
-// --- Runtime configuration knobs ------------------------------------------------------
+// --- Runtime configuration knobs ---------------------------------------------
 
 TEST(RuntimeKnobsTest, ExplicitTaskManagerIsUsed) {
   sched::TaskSet tasks;
@@ -175,7 +175,7 @@ TEST(RuntimeKnobsTest, LoopbackLatencyDelaysLocalDeliveries) {
   EXPECT_NEAR(runtime.metrics().total().response_ms.mean(), 11.0, 0.1);
 }
 
-// --- DS through the full deployment pipeline -----------------------------------------
+// --- DS through the full deployment pipeline ---------------------------------
 
 TEST(DsPlanTest, DsAttributesSurviveXmlRoundTripAndLaunch) {
   sched::TaskSet tasks;
@@ -216,7 +216,8 @@ TEST(DsPlanTest, DsAttributesSurviveXmlRoundTripAndLaunch) {
   core::SystemRuntime runtime(config, tasks);
   ASSERT_TRUE(runtime.assemble_infrastructure().is_ok());
   const auto report = dance::PlanLauncher().launch_from_xml(
-      xml, [&runtime](ProcessorId node) { return runtime.find_container(node); },
+      xml,
+      [&runtime](ProcessorId node) { return runtime.find_container(node); },
       runtime.factory());
   ASSERT_TRUE(report.is_ok()) << report.message();
   ASSERT_TRUE(runtime.finalize_deployment().is_ok());
@@ -233,7 +234,7 @@ TEST(DsPlanTest, DsAttributesSurviveXmlRoundTripAndLaunch) {
   EXPECT_EQ(runtime.metrics().total().completions, 2u);
 }
 
-// --- Conservation under bursty aperiodic load ------------------------------------------
+// --- Conservation under bursty aperiodic load --------------------------------
 
 TEST(ConservationTest, HeavyBurstsNeverLoseJobs) {
   sched::TaskSet tasks;
@@ -249,7 +250,8 @@ TEST(ConservationTest, HeavyBurstsNeverLoseJobs) {
   burst.bursts = 1;
   burst.jobs_per_burst = 50;
   burst.intra_gap = Duration::milliseconds(2);
-  runtime.inject_arrivals(rtcm::testing::make_bursty_arrivals(TaskId(0), burst));
+  runtime.inject_arrivals(
+      rtcm::testing::make_bursty_arrivals(TaskId(0), burst));
   runtime.run_until(Time(Duration::seconds(2).usec()));
   const auto& total = runtime.metrics().total();
   EXPECT_EQ(total.arrivals, 50u);
@@ -259,7 +261,7 @@ TEST(ConservationTest, HeavyBurstsNeverLoseJobs) {
   EXPECT_GT(total.rejections, 0u);  // the burst must overload admission
 }
 
-// --- aUB safety: admitted work never misses a deadline ---------------------------------
+// --- aUB safety: admitted work never misses a deadline -----------------------
 //
 // The paper's core guarantee (Equation 1): any job the AC releases under the
 // aperiodic utilization bound completes by its absolute deadline.  Exercised
@@ -315,7 +317,7 @@ INSTANTIATE_TEST_SUITE_P(
              info.param.strategies;
     });
 
-// --- DS budget replenishment bounds aperiodic response ---------------------------------
+// --- DS budget replenishment bounds aperiodic response -----------------------
 //
 // The deferrable server is a bounded-delay resource: an admitted aperiodic
 // job's measured end-to-end response must stay within the delay bound the DS
@@ -376,7 +378,8 @@ TEST(DsBudgetBoundTest, BurstBacklogStillBoundedByDeadline) {
   burst.jobs_per_burst = 12;
   burst.intra_gap = Duration::milliseconds(1);
   burst.inter_gap = Duration::milliseconds(600);
-  runtime.inject_arrivals(rtcm::testing::make_bursty_arrivals(TaskId(0), burst));
+  runtime.inject_arrivals(
+      rtcm::testing::make_bursty_arrivals(TaskId(0), burst));
   runtime.run_until(Time(Duration::seconds(6).usec()));
 
   const auto& total = runtime.metrics().total();
@@ -390,7 +393,7 @@ TEST(DsBudgetBoundTest, BurstBacklogStillBoundedByDeadline) {
             Duration::milliseconds(400).as_milliseconds());
 }
 
-// --- Idle resetting is decrease-only on the ledger --------------------------------------
+// --- Idle resetting is decrease-only on the ledger ---------------------------
 //
 // §2's resetting rule may *remove* synthetic utilization early; it must never
 // add any.  The only source of ledger increase is an admission.  We sample
@@ -462,7 +465,7 @@ TEST(IdleResetLedgerTest, ResetsNeverIncreaseLedgeredUtilization) {
       runtime.admission_control()->state().ledger().total_all(), 0.0);
 }
 
-// --- Full-runtime trace determinism ------------------------------------------------------
+// --- Full-runtime trace determinism ------------------------------------------
 //
 // Two identically seeded end-to-end runs must produce byte-identical rendered
 // traces — the contract that makes every experiment in this repo replayable

@@ -79,7 +79,8 @@ inline workload::WorkloadShape make_imbalanced_shape(
     const ImbalancedShape& opt = {}) {
   workload::WorkloadShape shape;
   for (std::size_t p = 0; p < opt.primaries; ++p) {
-    shape.primary_processors.push_back(ProcessorId(static_cast<std::int32_t>(p)));
+    shape.primary_processors.push_back(
+        ProcessorId(static_cast<std::int32_t>(p)));
   }
   for (std::size_t p = 0; p < opt.replicas; ++p) {
     shape.replica_processors.push_back(
@@ -97,8 +98,8 @@ inline workload::WorkloadShape make_imbalanced_shape(
 }
 
 /// Generate a complete imbalanced task set, deterministic in `seed`.
-inline sched::TaskSet make_imbalanced_workload(std::uint64_t seed,
-                                               const ImbalancedShape& opt = {}) {
+inline sched::TaskSet make_imbalanced_workload(
+    std::uint64_t seed, const ImbalancedShape& opt = {}) {
   Rng rng(seed);
   return workload::generate_workload(make_imbalanced_shape(opt), rng);
 }

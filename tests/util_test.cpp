@@ -4,6 +4,7 @@
 
 #include "util/flags.h"
 #include "util/ids.h"
+#include "util/json.h"
 #include "util/priority.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -353,6 +354,98 @@ TEST(ResultTest, ValueAndError) {
   auto err = Result<int>::error("nope");
   EXPECT_FALSE(err.is_ok());
   EXPECT_EQ(err.message(), "nope");
+}
+
+// --- json --------------------------------------------------------------------
+
+TEST(JsonTest, BuildAndDumpCompact) {
+  json::Value obj = json::Value::object();
+  obj.set("name", "fig5");
+  obj.set("ok", true);
+  obj.set("ratio", 0.5);
+  obj.set("count", 42);
+  json::Value arr = json::Value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(json::Value());
+  obj.set("items", arr);
+  EXPECT_EQ(obj.dump_compact(),
+            "{\"name\": \"fig5\", \"ok\": true, \"ratio\": 0.5, "
+            "\"count\": 42, \"items\": [1, \"two\", null]}");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndOverwrites) {
+  json::Value obj = json::Value::object();
+  obj.set("b", 1);
+  obj.set("a", 2);
+  obj.set("b", 3);  // overwrite keeps position
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "b");
+  EXPECT_EQ(obj.members()[0].second.as_int(), 3);
+  EXPECT_EQ(obj.members()[1].first, "a");
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("c"));
+  EXPECT_TRUE(obj.get("c").is_null());
+}
+
+TEST(JsonTest, NumberFormattingIsCanonical) {
+  EXPECT_EQ(json::number_to_string(0.0), "0");
+  EXPECT_EQ(json::number_to_string(322.0), "322");
+  EXPECT_EQ(json::number_to_string(-7.0), "-7");
+  EXPECT_EQ(json::number_to_string(0.5), "0.5");
+  // Shortest round-trip form: parsing the string recovers the exact bits.
+  const double tricky = 0.1 + 0.2;
+  double out = 0.0;
+  ASSERT_TRUE(parse_double(json::number_to_string(tricky), out));
+  EXPECT_EQ(out, tricky);
+  EXPECT_EQ(json::number_to_string(1.0 / 0.0), "null");
+}
+
+TEST(JsonTest, ParseDocument) {
+  const auto parsed = json::Value::parse(
+      "  {\"a\": [1, 2.5, -3e2], \"b\": {\"nested\": false}, "
+      "\"s\": \"q\\\"\\n\\u0041\"} ");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  const json::Value& v = parsed.value();
+  EXPECT_EQ(v.get("a").size(), 3u);
+  EXPECT_EQ(v.get("a").at(0).as_int(), 1);
+  EXPECT_DOUBLE_EQ(v.get("a").at(1).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(v.get("a").at(2).as_double(), -300.0);
+  EXPECT_FALSE(v.get("b").get("nested").as_bool(true));
+  EXPECT_EQ(v.get("s").as_string(), "q\"\nA");
+}
+
+TEST(JsonTest, ParseDumpFixedPoint) {
+  const char* text =
+      "{\"x\": [1, {\"y\": \"z\"}, true, null], \"n\": -0.25}";
+  const auto first = json::Value::parse(text);
+  ASSERT_TRUE(first.is_ok());
+  const std::string dumped = first.value().dump();
+  const auto second = json::Value::parse(dumped);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().dump(), dumped);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(json::Value::parse("").is_ok());
+  EXPECT_FALSE(json::Value::parse("{").is_ok());
+  EXPECT_FALSE(json::Value::parse("[1,]").is_ok());
+  EXPECT_FALSE(json::Value::parse("{\"a\" 1}").is_ok());
+  EXPECT_FALSE(json::Value::parse("\"unterminated").is_ok());
+  EXPECT_FALSE(json::Value::parse("troo").is_ok());
+  EXPECT_FALSE(json::Value::parse("{} trailing").is_ok());
+  EXPECT_FALSE(json::Value::parse("1e").is_ok());
+}
+
+TEST(JsonTest, TypedAccessorDefaultsOnMismatch) {
+  const json::Value s("text");
+  EXPECT_EQ(s.as_int(7), 7);
+  EXPECT_DOUBLE_EQ(s.as_double(1.5), 1.5);
+  EXPECT_TRUE(s.as_bool(true));
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.at(0).is_null());
+  const json::Value n(3.0);
+  EXPECT_EQ(n.as_string(), "");
 }
 
 }  // namespace

@@ -85,7 +85,7 @@ TEST_P(RandomWorkloadTest, DeterministicInSeed) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 
-// --- §7.2 imbalanced ----------------------------------------------------------
+// --- §7.2 imbalanced ---------------------------------------------------------
 
 class ImbalancedWorkloadTest : public ::testing::TestWithParam<std::uint64_t> {
 };
@@ -114,7 +114,7 @@ TEST_P(ImbalancedWorkloadTest, MatchesPaperSection72Parameters) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ImbalancedWorkloadTest,
                          ::testing::Values(1, 2, 3, 4, 5));
 
-// --- Generalized imbalanced shapes (test_helpers builder) ----------------------
+// --- Generalized imbalanced shapes (test_helpers builder) --------------------
 
 struct ImbalancedBuilderCase {
   std::size_t primaries;
@@ -183,7 +183,7 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.replicas);
     });
 
-// --- Bursty arrival traces (test_helpers builder) ------------------------------
+// --- Bursty arrival traces (test_helpers builder) ----------------------------
 
 TEST(BurstyArrivalTest, ShapeProducesSortedBurstClusters) {
   rtcm::testing::BurstShape shape;
@@ -219,7 +219,7 @@ TEST(BurstyArrivalTest, MultiTaskTraceIsTimeSortedAndComplete) {
   EXPECT_EQ(per_task.size(), 3u);
 }
 
-// --- §7.3 overhead shape ---------------------------------------------------------
+// --- §7.3 overhead shape -----------------------------------------------------
 
 TEST(OverheadShapeTest, ThreeProcessorsShortChains) {
   Rng rng(4);
@@ -230,7 +230,7 @@ TEST(OverheadShapeTest, ThreeProcessorsShortChains) {
   }
 }
 
-// --- Generator edge cases ---------------------------------------------------------
+// --- Generator edge cases ----------------------------------------------------
 
 TEST(GeneratorTest, NoReplicationWhenDisabled) {
   Rng rng(6);
@@ -273,7 +273,7 @@ TEST(GeneratorTest, InterarrivalFactorScalesMean) {
   }
 }
 
-// --- Arrival traces -----------------------------------------------------------------
+// --- Arrival traces ----------------------------------------------------------
 
 TEST(ArrivalTest, PeriodicArrivalsAreExact) {
   sched::TaskSpec t;
