@@ -42,6 +42,8 @@ class AttributeMap {
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::size_t size() const { return values_.size(); }
+  /// Structural equality (the plan differ's notion of "reconfigured").
+  [[nodiscard]] bool operator==(const AttributeMap&) const = default;
   [[nodiscard]] std::vector<std::string> names() const;
 
   /// Typed getters; coerce from string where unambiguous.  Errors name the

@@ -31,7 +31,10 @@ const ContainerContext& Component::context() const {
 Status Component::configure(const AttributeMap& properties) {
   const bool pre_activation = state_ == LifecycleState::kCreated ||
                               state_ == LifecycleState::kConfigured;
-  const bool runtime_ok = state_ == LifecycleState::kActive &&
+  // Runtime reconfiguration covers both live components and quiesced
+  // (passivated) ones awaiting reactivation by the reconfiguration engine.
+  const bool runtime_ok = (state_ == LifecycleState::kActive ||
+                           state_ == LifecycleState::kPassivated) &&
                           supports_runtime_reconfiguration();
   if (!pre_activation && !runtime_ok) {
     return Status::error("component '" + instance_name_ +
@@ -52,7 +55,12 @@ Status Component::activate() {
     return Status::error("component '" + type_name_ +
                          "' must be installed before activation");
   }
-  if (Status s = on_activate(); !s.is_ok()) return s;
+  // Reactivation after passivate() must not re-run on_activate(): event
+  // subscriptions made there survive passivation (channels have no
+  // per-component unsubscribe), so running it again would double-subscribe.
+  if (state_ != LifecycleState::kPassivated) {
+    if (Status s = on_activate(); !s.is_ok()) return s;
+  }
   state_ = LifecycleState::kActive;
   return Status::ok();
 }

@@ -49,9 +49,10 @@ class Component {
 
   /// Apply configProperties (set_configuration).  Allowed in Created or
   /// Configured state — and, for components that opt in via
-  /// supports_runtime_reconfiguration(), also while Active (paper §5: the
-  /// TE's attributes "may be modified at run-time").  Attributes are
-  /// retained and re-readable.
+  /// supports_runtime_reconfiguration(), also while Active or Passivated
+  /// (paper §5: the TE's attributes "may be modified at run-time"; the
+  /// reconfiguration engine configures quiesced components before
+  /// reactivating them).  Attributes are retained and re-readable.
   Status configure(const AttributeMap& properties);
 
   /// Whether configure() is permitted while Active.

@@ -1,11 +1,13 @@
 #include "config/engine.h"
 
 #include <algorithm>
+#include <set>
 
 #include "config/workload_spec.h"
 #include "dance/engine.h"
 #include "dance/plan_xml.h"
 #include "sched/edms.h"
+#include "util/strings.h"
 
 namespace rtcm::config {
 
@@ -50,6 +52,46 @@ Result<EngineOutput> ConfigurationEngine::configure(
   out.plan = std::move(plan).value();
   out.xml = dance::plan_to_xml(out.plan);
   out.priorities = sched::assign_edms_priorities(out.tasks);
+
+  // Fold the mode-change schedule into a plan sequence: each step mutates
+  // the accumulated PlanBuilderInput and emits a full target plan, so a bad
+  // step is refused here — before anything is deployed.
+  std::vector<ModeChange> schedule = input.mode_changes;
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ModeChange& a, const ModeChange& b) {
+                     return a.at < b.at;
+                   });
+  std::set<ProcessorId> drained;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const ModeChange& change = schedule[i];
+    const std::string label = change.label.empty()
+                                  ? strfmt("mode-change-%zu", i + 1)
+                                  : change.label;
+    if (change.strategies.has_value()) {
+      if (!change.strategies->valid()) {
+        return R::error("mode change '" + label +
+                        "': invalid service configuration " +
+                        change.strategies->label() + ": " +
+                        change.strategies->invalid_reason());
+      }
+      plan_input.strategies = *change.strategies;
+    }
+    if (change.lb_policy.has_value()) plan_input.lb_policy = *change.lb_policy;
+    for (const ProcessorId p : change.drain) drained.insert(p);
+    for (const ProcessorId p : change.undrain) drained.erase(p);
+    plan_input.drained.assign(drained.begin(), drained.end());
+    plan_input.label = input.label + "/" + label;
+    auto step = build_deployment_plan(plan_input);
+    if (!step.is_ok()) {
+      return R::error("mode change '" + label + "': " + step.message());
+    }
+    TimedPlan timed;
+    timed.at = change.at;
+    timed.label = label;
+    timed.plan = std::move(step).value();
+    timed.xml = dance::plan_to_xml(timed.plan);
+    out.schedule.push_back(std::move(timed));
+  }
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "config/plan_builder.h"
 #include "config/questionnaire.h"
@@ -33,6 +34,21 @@ struct EngineInput {
   std::optional<ProcessorId> task_manager;
   std::string label = "rtcm-deployment";
   std::string lb_policy = "lowest-util";
+  /// Mode-change schedule: timed plan mutations ("at t=5s switch the LB
+  /// strategy; at t=12s drain node 2") folded, in time order, into the plan
+  /// sequence of EngineOutput::schedule.  Invalid steps (bad combination,
+  /// drain leaving a stage hostless) fail configure() up front — the same
+  /// refuse-early guarantee the engine gives the initial plan.
+  std::vector<ModeChange> mode_changes;
+};
+
+/// One step of the emitted plan sequence: deploy `plan` at virtual time
+/// `at` (the initial plan is separate, in EngineOutput::plan).
+struct TimedPlan {
+  Time at;
+  std::string label;
+  dance::DeploymentPlan plan;
+  std::string xml;
 };
 
 struct EngineOutput {
@@ -42,6 +58,8 @@ struct EngineOutput {
   dance::DeploymentPlan plan;
   std::string xml;
   std::unordered_map<TaskId, Priority> priorities;
+  /// Target plans for each mode change, in schedule order.
+  std::vector<TimedPlan> schedule;
 };
 
 class ConfigurationEngine {

@@ -1,6 +1,7 @@
 #include "config/plan_builder.h"
 
 #include <algorithm>
+#include <set>
 
 #include "core/admission_control.h"
 #include "core/idle_resetter.h"
@@ -95,14 +96,27 @@ Result<dance::DeploymentPlan> build_deployment_plan(
     plan.instances.push_back(std::move(ir));
   }
 
-  // Subtask instances with EDMS priorities.
+  // Subtask instances with EDMS priorities.  Execution-drained processors
+  // host no Subtask instances; a stage losing every host is a plan error.
+  const std::set<ProcessorId> drained(input.drained.begin(),
+                                      input.drained.end());
   const auto priorities = sched::assign_edms_priorities(tasks);
   for (const sched::TaskSpec& task : tasks.tasks()) {
     const Priority priority = priorities.at(task.id);
     for (std::size_t j = 0; j < task.subtasks.size(); ++j) {
       const sched::SubtaskSpec& st = task.subtasks[j];
       const bool last = (j + 1 == task.subtasks.size());
+      std::size_t hosts = 0;
       for (const ProcessorId host : st.candidates()) {
+        if (drained.count(host) == 0) ++hosts;
+      }
+      if (hosts == 0) {
+        return R::error(strfmt(
+            "draining leaves stage %zu of task %d without any host", j,
+            task.id.value()));
+      }
+      for (const ProcessorId host : st.candidates()) {
+        if (drained.count(host) > 0) continue;
         dance::InstanceDeployment inst;
         inst.id = strfmt("T%d_S%zu@P%d", task.id.value(), j, host.value());
         inst.type = last ? core::LastSubtask::kTypeName

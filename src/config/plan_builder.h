@@ -9,12 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/strategies.h"
 #include "dance/deployment_plan.h"
 #include "sched/task.h"
 #include "util/result.h"
+#include "util/time.h"
 
 namespace rtcm::config {
 
@@ -31,9 +34,30 @@ struct PlanBuilderInput {
   Duration ds_budget = Duration::milliseconds(25);
   Duration ds_period = Duration::milliseconds(100);
   Duration ds_hop_overhead = Duration::zero();
+  /// Execution-drained processors: no Subtask instance is deployed on them
+  /// (their TE/IR stay, so arrivals still land there and migrate away).  An
+  /// error is returned if draining leaves some stage without any host.
+  std::vector<ProcessorId> drained;
 };
 
 [[nodiscard]] Result<dance::DeploymentPlan> build_deployment_plan(
     const PlanBuilderInput& input);
+
+/// One step of a mode-change schedule: at virtual time `at`, mutate the
+/// deployment this way.  Unset fields keep their current value.  This is the
+/// currency of the whole reconfiguration pipeline — the configuration engine
+/// folds a list of these into a plan *sequence*, and the runtime
+/// ReconfigurationManager (src/reconfig) applies them live via plan diffs.
+struct ModeChange {
+  Time at;
+  std::string label;
+  /// Swap the service-strategy combination (must be valid).
+  std::optional<core::StrategyCombination> strategies;
+  /// Swap the load balancer's placement policy attribute.
+  std::optional<std::string> lb_policy;
+  /// Processors to add to / remove from the execution-drained set.
+  std::vector<ProcessorId> drain;
+  std::vector<ProcessorId> undrain;
+};
 
 }  // namespace rtcm::config

@@ -1,6 +1,8 @@
 #include "core/admission_control.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "ccm/container.h"
 #include "sim/trace.h"
@@ -52,12 +54,21 @@ Status AdmissionControl::on_configure(const ccm::AttributeMap& attributes) {
     return Status::error("LB_Strategy must be 'N', 'PT' or 'PJ', got '" + lb +
                          "'");
   }
+  // Runtime reconfiguration may swap the strategy attributes freely, but the
+  // analysis (and a live DS server's parameters) carry admission state that
+  // cannot be rebuilt mid-run; switching them on a live AC is refused.
+  const bool live =
+      ccm::Component::state() == ccm::LifecycleState::kActive ||
+      ccm::Component::state() == ccm::LifecycleState::kPassivated;
   const std::string analysis = attributes.get_string_or(kAnalysisAttr, "AUB");
   if (analysis == "AUB") {
+    if (live && analysis_ != AperiodicAnalysis::kAub) {
+      return Status::error(
+          "cannot switch a live AC from DS to AUB analysis");
+    }
     analysis_ = AperiodicAnalysis::kAub;
     ds_.reset();
   } else if (analysis == "DS") {
-    analysis_ = AperiodicAnalysis::kDeferrableServer;
     sched::DsServerConfig ds_config;
     ds_config.budget =
         Duration(attributes.get_int_or(kDsBudgetAttr, 25000));
@@ -71,7 +82,23 @@ Status AdmissionControl::on_configure(const ccm::AttributeMap& attributes) {
       return Status::error("DS server needs 0 < DS_Budget <= DS_Period and "
                            "DS_HopOverhead >= 0");
     }
-    ds_.emplace(ds_config);
+    if (live) {
+      if (analysis_ != AperiodicAnalysis::kDeferrableServer) {
+        return Status::error(
+            "cannot switch a live AC from AUB to DS analysis");
+      }
+      const sched::DsServerConfig& current = ds_->config();
+      if (current.budget != ds_config.budget ||
+          current.period != ds_config.period ||
+          current.hop_overhead != ds_config.hop_overhead) {
+        return Status::error(
+            "cannot retune a live AC's DS server parameters");
+      }
+      // Keep ds_ (it holds the live backlog).
+    } else {
+      analysis_ = AperiodicAnalysis::kDeferrableServer;
+      ds_.emplace(ds_config);
+    }
   } else {
     return Status::error("Analysis must be 'AUB' or 'DS', got '" + analysis +
                          "'");
@@ -122,25 +149,50 @@ std::vector<ProcessorId> AdmissionControl::propose(
   return location_->propose_placement(spec, state_.ledger());
 }
 
+std::vector<ProcessorId> AdmissionControl::drain_adjusted(
+    const sched::TaskSpec& spec, std::vector<ProcessorId> placement) const {
+  if (drained_.empty()) return placement;
+  for (std::size_t j = 0; j < placement.size(); ++j) {
+    if (drained_.count(placement[j]) == 0) continue;
+    ProcessorId best;
+    double best_util = 0.0;
+    for (const ProcessorId cand : spec.subtasks[j].candidates()) {
+      if (drained_.count(cand) > 0) continue;
+      const double u = state_.ledger().total(cand);
+      if (!best.valid() || u < best_util) {
+        best = cand;
+        best_util = u;
+      }
+    }
+    if (!best.valid()) return {};  // stage has no live candidate
+    placement[j] = best;
+  }
+  return placement;
+}
+
 std::vector<ProcessorId> AdmissionControl::placement_for(
     const sched::TaskSpec& spec) {
   switch (lb_) {
     case LbStrategy::kNone:
-      return primaries(spec);
+      return drain_adjusted(spec, primaries(spec));
     case LbStrategy::kPerTask: {
       // Periodic tasks are assigned once, at first arrival; aperiodic jobs
       // are placed at their single job arrival time (paper §4.4/§5).
-      if (spec.kind != sched::TaskKind::kPeriodic) return propose(spec);
+      if (spec.kind != sched::TaskKind::kPeriodic) {
+        return drain_adjusted(spec, propose(spec));
+      }
       const auto it = plans_.find(spec.id);
       if (it != plans_.end()) return it->second;
-      auto placement = propose(spec);
-      plans_.emplace(spec.id, placement);
+      auto placement = drain_adjusted(spec, propose(spec));
+      // An unplaceable arrival (every candidate of some stage drained) is
+      // not frozen: the task gets a fresh placement once nodes return.
+      if (!placement.empty()) plans_.emplace(spec.id, placement);
       return placement;
     }
     case LbStrategy::kPerJob:
-      return propose(spec);
+      return drain_adjusted(spec, propose(spec));
   }
-  return primaries(spec);
+  return drain_adjusted(spec, primaries(spec));
 }
 
 sched::AdmissionDecision AdmissionControl::test(
@@ -164,8 +216,8 @@ sched::AdmissionDecision AdmissionControl::test(
 void AdmissionControl::maybe_move_reservation(const sched::TaskSpec& spec) {
   const auto* reservation = state_.reservation(spec.id);
   assert(reservation != nullptr);
-  const std::vector<ProcessorId> fresh = propose(spec);
-  if (fresh == reservation->placement) return;
+  const std::vector<ProcessorId> fresh = drain_adjusted(spec, propose(spec));
+  if (fresh.empty() || fresh == reservation->placement) return;
   // Release, test the new placement against the remaining load, and keep
   // whichever placement is admissible (the old one always is: removing and
   // re-adding it restores the exact prior state).
@@ -202,6 +254,11 @@ void AdmissionControl::reject(const TaskArrivePayload& a) {
 void AdmissionControl::handle_ds_aperiodic(const sched::TaskSpec& spec,
                                            const TaskArrivePayload& a) {
   std::vector<ProcessorId> placement = placement_for(spec);
+  if (placement.empty()) {
+    ++counters_.drain_unplaceable;
+    reject(a);
+    return;
+  }
   ++counters_.admission_tests;
   const std::vector<Duration> bounds = ds_->stage_bounds(spec, placement);
   const Duration round_trip = ds_->config().hop_overhead * 2;
@@ -272,8 +329,15 @@ void AdmissionControl::handle_task_arrive(const TaskArrivePayload& a) {
       reject(a);
       return;
     }
-    // First arrival: test once, reserve forever.
+    // First arrival: test once, reserve forever.  A drain-unplaceable
+    // arrival is rejected without condemning the task: once the drained
+    // processors return, a later first arrival may still admit it.
     std::vector<ProcessorId> placement = placement_for(*spec);
+    if (placement.empty()) {
+      ++counters_.drain_unplaceable;
+      reject(a);
+      return;
+    }
     if (test(*spec, placement).admitted) {
       state_.reserve_task(*spec, placement);
       accept(*spec, a, std::move(placement), /*task_admitted=*/true);
@@ -286,6 +350,11 @@ void AdmissionControl::handle_task_arrive(const TaskArrivePayload& a) {
 
   // Per-job admission: aperiodic jobs always, periodic jobs under AC=PJ.
   std::vector<ProcessorId> placement = placement_for(*spec);
+  if (placement.empty()) {
+    ++counters_.drain_unplaceable;
+    reject(a);
+    return;
+  }
   if (!test(*spec, placement).admitted) {
     reject(a);
     return;
@@ -298,6 +367,120 @@ void AdmissionControl::handle_task_arrive(const TaskArrivePayload& a) {
   context().sim.schedule_at(absolute_deadline,
                             [this, job] { state_.expire_job(job); });
   accept(*spec, a, std::move(placement), /*task_admitted=*/false);
+}
+
+namespace {
+
+std::string placement_string(const std::vector<ProcessorId>& placement) {
+  std::string out;
+  for (const ProcessorId p : placement) {
+    if (!out.empty()) out += ',';
+    out += p.to_string();
+  }
+  return out;
+}
+
+bool touches(const std::vector<ProcessorId>& placement,
+             const std::set<ProcessorId>& nodes) {
+  for (const ProcessorId p : placement) {
+    if (nodes.count(p) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AdmissionControl::TransitionSummary> AdmissionControl::apply_drain(
+    const std::set<ProcessorId>& drained) {
+  using R = Result<TransitionSummary>;
+  const std::set<ProcessorId> previous = std::exchange(drained_, drained);
+  TransitionSummary summary;
+
+  // Standing reservations touching a drained processor must migrate.
+  std::vector<TaskId> affected;
+  for (const auto& [task, reservation] : state_.reservations()) {
+    if (touches(reservation.placement, drained_)) affected.push_back(task);
+  }
+
+  // Undo log: (task, original placement), in migration order.
+  std::vector<std::pair<TaskId, std::vector<ProcessorId>>> undo;
+  for (const TaskId task : affected) {
+    const sched::TaskSpec* spec = tasks_.find(task);
+    assert(spec != nullptr);
+    std::vector<ProcessorId> old_placement = state_.release_reservation(*spec);
+    // Minimal disruption: only stages on a drained processor move (to the
+    // lowest-utilization live candidate); the rest stay where they are.
+    std::vector<ProcessorId> fresh = drain_adjusted(*spec, old_placement);
+    if (fresh.empty() || !test(*spec, fresh).admitted) {
+      // Roll everything back: re-adding the exact old contributions restores
+      // the ledger byte-for-byte (same stages, same amounts).
+      state_.reserve_task(*spec, std::move(old_placement));
+      for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+        const sched::TaskSpec* undone = tasks_.find(it->first);
+        assert(undone != nullptr);
+        (void)state_.release_reservation(*undone);
+        if (plans_.count(it->first) > 0) plans_[it->first] = it->second;
+        state_.reserve_task(*undone, std::move(it->second));
+      }
+      drained_ = previous;
+      return R::error("reconfiguration rejected: admitted task " +
+                      task.to_string() +
+                      " cannot keep its deadline guarantee off the drained "
+                      "processors");
+    }
+    state_.reserve_task(*spec, fresh);
+    if (plans_.count(task) > 0) plans_[task] = fresh;
+    summary.migrated.push_back({task, old_placement, fresh});
+    undo.emplace_back(task, std::move(old_placement));
+  }
+  // Counters and trace records are emitted only once the whole transition
+  // is known to succeed — a rolled-back migration never happened.
+  for (const MigrationRecord& m : summary.migrated) {
+    ++counters_.migrations;
+    context().trace.record({context().sim.now(), sim::TraceKind::kTaskMigrated,
+                            context().processor, m.task, JobId(),
+                            placement_string(m.from) + " -> " +
+                                placement_string(m.to)});
+  }
+
+  // Frozen LB-per-Task plans of non-reserved (per-job admitted) tasks are
+  // re-frozen off the drained processors; each future job is admission
+  // tested at arrival, so no re-check (or rollback) is needed here.
+  std::vector<TaskId> unfreeze;
+  for (auto& [task, placement] : plans_) {
+    if (state_.is_reserved(task) || !touches(placement, drained_)) continue;
+    const sched::TaskSpec* spec = tasks_.find(task);
+    assert(spec != nullptr);
+    auto fresh = drain_adjusted(*spec, placement);
+    if (fresh.empty()) {
+      unfreeze.push_back(task);  // re-placed (or rejected) at next arrival
+    } else {
+      placement = std::move(fresh);
+    }
+  }
+  for (const TaskId task : unfreeze) plans_.erase(task);
+
+  return summary;
+}
+
+Time AdmissionControl::quiesce_horizon(
+    const std::set<ProcessorId>& nodes) const {
+  const Time now = context().sim.now();
+  Time horizon = std::max(now, state_.latest_deadline_touching(nodes));
+  for (const sched::TaskSpec& task : tasks_.tasks()) {
+    bool reaches = false;
+    for (const sched::SubtaskSpec& st : task.subtasks) {
+      for (const ProcessorId cand : st.candidates()) {
+        if (nodes.count(cand) > 0) {
+          reaches = true;
+          break;
+        }
+      }
+      if (reaches) break;
+    }
+    if (reaches) horizon = std::max(horizon, now + task.deadline);
+  }
+  return horizon;
 }
 
 void AdmissionControl::handle_idle_reset(const IdleResetPayload& payload) {

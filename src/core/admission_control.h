@@ -67,6 +67,9 @@ class AdmissionControl final : public ccm::Component {
     std::uint64_t auto_accepts = 0;     // jobs of already-admitted tasks
     std::uint64_t reservation_moves = 0;
     std::uint64_t subjobs_reset = 0;
+    std::uint64_t migrations = 0;        // reservations moved by drains
+    std::uint64_t drain_unplaceable = 0; // arrivals rejected for lack of a
+                                         // non-drained candidate
   };
 
   [[nodiscard]] const Counters& counters() const { return counters_; }
@@ -79,6 +82,44 @@ class AdmissionControl final : public ccm::Component {
     return ds_ ? &*ds_ : nullptr;
   }
 
+  // --- Runtime reconfiguration (src/reconfig) ------------------------------
+
+  /// Strategy attributes may be swapped live; on_configure guards the
+  /// transitions that would be unsound (switching the analysis mid-run).
+  [[nodiscard]] bool supports_runtime_reconfiguration() const override {
+    return true;
+  }
+
+  struct MigrationRecord {
+    TaskId task;
+    std::vector<ProcessorId> from;
+    std::vector<ProcessorId> to;
+  };
+  struct TransitionSummary {
+    std::vector<MigrationRecord> migrated;
+  };
+
+  /// Atomically transition to a new drained-processor set.  Every standing
+  /// reservation (AC per Task) whose placement touches a drained processor
+  /// is re-placed on non-drained candidates and re-admitted under Equation
+  /// (1); frozen LB-per-Task plans are re-frozen likewise.  If any migrated
+  /// task would lose its guarantee, the whole transition rolls back (ledger
+  /// and reservations restored exactly) and an error is returned.  In-flight
+  /// per-job admissions are never migrated — they complete on their old
+  /// placement by their deadline (quiescence).
+  [[nodiscard]] Result<TransitionSummary> apply_drain(
+      const std::set<ProcessorId>& drained);
+
+  [[nodiscard]] const std::set<ProcessorId>& drained() const {
+    return drained_;
+  }
+
+  /// Earliest virtual time at which `nodes` are guaranteed silent: the max
+  /// of every in-flight admitted job's deadline touching them and now + D_i
+  /// for every task with a candidate there (covering TE immediate releases
+  /// that never pass through the AC's book).  Never before now.
+  [[nodiscard]] Time quiesce_horizon(const std::set<ProcessorId>& nodes) const;
+
  protected:
   Status on_configure(const ccm::AttributeMap& attributes) override;
   Status on_activate() override;
@@ -87,12 +128,19 @@ class AdmissionControl final : public ccm::Component {
   void handle_task_arrive(const events::TaskArrivePayload& payload);
   void handle_idle_reset(const events::IdleResetPayload& payload);
 
-  /// Placement for this arrival per the LB strategy.
+  /// Placement for this arrival per the LB strategy.  Empty when some stage
+  /// has no non-drained candidate (the arrival must be rejected).
   [[nodiscard]] std::vector<ProcessorId> placement_for(
       const sched::TaskSpec& spec);
   [[nodiscard]] std::vector<ProcessorId> propose(const sched::TaskSpec& spec);
   [[nodiscard]] static std::vector<ProcessorId> primaries(
       const sched::TaskSpec& spec);
+
+  /// Remap stages placed on drained processors to the lowest-utilization
+  /// non-drained candidate (ties by candidate order).  Empty result when a
+  /// stage has no live candidate.
+  [[nodiscard]] std::vector<ProcessorId> drain_adjusted(
+      const sched::TaskSpec& spec, std::vector<ProcessorId> placement) const;
 
   /// Run Equation (1) for `spec` placed on `placement`.
   [[nodiscard]] sched::AdmissionDecision test(
@@ -121,6 +169,9 @@ class AdmissionControl final : public ccm::Component {
   std::map<TaskId, std::vector<ProcessorId>> plans_;
   /// Periodic tasks rejected at first arrival under AC per Task.
   std::set<TaskId> rejected_tasks_;
+  /// Processors currently drained by the reconfiguration engine: no new
+  /// placement may use them (in-flight jobs finish there by quiescence).
+  std::set<ProcessorId> drained_;
   Counters counters_;
 
   // DS mode only.

@@ -38,6 +38,12 @@ class IdleResetter final : public ccm::Component, public CompletionSink {
   void force_idle_report() { on_processor_idle(); }
 
   [[nodiscard]] IrStrategy strategy() const { return strategy_; }
+
+  /// The IR strategy only gates which completions are recorded/reported, so
+  /// it can be swapped live by the reconfiguration engine.
+  [[nodiscard]] bool supports_runtime_reconfiguration() const override {
+    return true;
+  }
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   [[nodiscard]] std::uint64_t reports_pushed() const {
     return reports_pushed_;

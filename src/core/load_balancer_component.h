@@ -41,6 +41,12 @@ class LoadBalancerComponent final : public ccm::Component,
     return balancer_.policy();
   }
 
+  /// Placement policy swaps are a mode change the reconfiguration engine
+  /// applies live (on_configure rebuilds the balancer idempotently).
+  [[nodiscard]] bool supports_runtime_reconfiguration() const override {
+    return true;
+  }
+
  protected:
   Status on_configure(const ccm::AttributeMap& attributes) override;
 

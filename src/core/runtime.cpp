@@ -344,6 +344,30 @@ IdleResetter* SystemRuntime::idle_resetter(ProcessorId proc) {
   return it == ir_.end() ? nullptr : it->second;
 }
 
+TaskEffector* SystemRuntime::arrival_effector(TaskId task) {
+  const sched::TaskSpec* spec = tasks_.find(task);
+  if (spec == nullptr || spec->subtasks.empty()) return nullptr;
+  return task_effector(spec->subtasks.front().primary);
+}
+
+Status SystemRuntime::reconfigure_instance(
+    ProcessorId node, const std::string& instance,
+    const ccm::AttributeMap& properties) {
+  ccm::Container* container = find_container(node);
+  if (container == nullptr) {
+    return Status::error("reconfigure: unknown node " + node.to_string());
+  }
+  ccm::Component* component = container->find(instance);
+  if (component == nullptr) {
+    return Status::error("reconfigure: no instance '" + instance + "' on " +
+                         node.to_string());
+  }
+  if (Status s = component->configure(properties); !s.is_ok()) {
+    return Status::error("reconfigure '" + instance + "': " + s.message());
+  }
+  return Status::ok();
+}
+
 sim::DeferrableServer* SystemRuntime::deferrable_server(ProcessorId proc) {
   const auto it = servers_.find(proc);
   return it == servers_.end() ? nullptr : it->second.get();

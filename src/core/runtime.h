@@ -124,11 +124,28 @@ class SystemRuntime {
   [[nodiscard]] LoadBalancerComponent* load_balancer() { return lb_; }
   [[nodiscard]] TaskEffector* task_effector(ProcessorId proc);
   [[nodiscard]] IdleResetter* idle_resetter(ProcessorId proc);
+  /// The TE where jobs of `task` arrive (the first stage's primary host);
+  /// null for unknown tasks.
+  [[nodiscard]] TaskEffector* arrival_effector(TaskId task);
   /// Null unless DS analysis is configured.
   [[nodiscard]] sim::DeferrableServer* deferrable_server(ProcessorId proc);
   [[nodiscard]] const std::unordered_map<TaskId, Priority>& priorities()
       const {
     return priorities_;
+  }
+
+  // --- Reconfiguration hooks (src/reconfig) -------------------------------
+
+  /// Apply new configProperties to one live (or quiesced) installed
+  /// instance — the incremental form of the deployment set_configuration
+  /// path.  Errors name the instance.
+  Status reconfigure_instance(ProcessorId node, const std::string& instance,
+                              const ccm::AttributeMap& properties);
+
+  /// Record the strategy combination now in force, so config() keeps
+  /// describing the live system after a mode change swapped strategies.
+  void note_active_strategies(const StrategyCombination& strategies) {
+    config_.strategies = strategies;
   }
 
   /// Attribute values the deployment plan / configuration engine use for a

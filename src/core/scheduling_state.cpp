@@ -1,5 +1,6 @@
 #include "core/scheduling_state.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rtcm::core {
@@ -46,6 +47,20 @@ void SchedulingState::expire_job(JobId job) {
     (void)ledger_.remove(c);  // stages reset earlier are already gone
   }
   jobs_.erase(it);
+}
+
+Time SchedulingState::latest_deadline_touching(
+    const std::set<ProcessorId>& nodes) const {
+  Time latest = Time::epoch();
+  for (const auto& [job, admission] : jobs_) {
+    for (const ProcessorId p : admission.placement) {
+      if (nodes.count(p) > 0) {
+        latest = std::max(latest, admission.absolute_deadline);
+        break;
+      }
+    }
+  }
+  return latest;
 }
 
 bool SchedulingState::reset_subjob(JobId job, std::size_t stage) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "sched/aub.h"
@@ -65,6 +66,14 @@ class SchedulingState {
   /// never affected (there is no per-job entry for them).
   bool reset_subjob(JobId job, std::size_t stage);
 
+  /// Latest absolute deadline over in-flight per-job admissions whose
+  /// placement touches any of `nodes`; Time::epoch() when none do.  The
+  /// reconfiguration engine uses this to size quiesce windows: an admitted
+  /// job is guaranteed complete by its deadline, so a drained host is
+  /// certainly silent after the last such deadline.
+  [[nodiscard]] Time latest_deadline_touching(
+      const std::set<ProcessorId>& nodes) const;
+
   // --- Background load -------------------------------------------------------
 
   /// Permanently reserve utilization on one processor without adding a task
@@ -83,6 +92,11 @@ class SchedulingState {
     return reservations_.count(task) > 0;
   }
   [[nodiscard]] const TaskReservation* reservation(TaskId task) const;
+  /// All standing reservations (the reconfiguration engine scans these for
+  /// placements touching a drained processor).
+  [[nodiscard]] const std::map<TaskId, TaskReservation>& reservations() const {
+    return reservations_;
+  }
   [[nodiscard]] std::size_t reservation_count() const {
     return reservations_.size();
   }

@@ -83,6 +83,14 @@ Status SubtaskComponentBase::on_activate() {
 }
 
 void SubtaskComponentBase::handle_trigger(const TriggerPayload& payload) {
+  // A quiesced (passivated) instance keeps its channel subscription but must
+  // not execute work.  The reconfiguration protocol never routes triggers to
+  // a drained host, so a drop here would surface as a conservation failure
+  // (releases != completions) in the property tests rather than a crash.
+  if (state() != ccm::LifecycleState::kActive) {
+    ++triggers_dropped_;
+    return;
+  }
   const std::uint64_t id =
       (static_cast<std::uint64_t>(payload.job.value()) << 8) |
       static_cast<std::uint64_t>(stage_ & 0xff);

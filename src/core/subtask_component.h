@@ -40,6 +40,16 @@ class SubtaskComponentBase : public ccm::Component {
   [[nodiscard]] std::uint64_t subjobs_executed() const {
     return subjobs_executed_;
   }
+  /// Triggers that arrived while the instance was quiesced (passivated).
+  /// Always zero when the reconfiguration protocol is honoured.
+  [[nodiscard]] std::uint64_t triggers_dropped() const {
+    return triggers_dropped_;
+  }
+
+  /// Mode changes may retune execution budgets / IR modes of live stages.
+  [[nodiscard]] bool supports_runtime_reconfiguration() const override {
+    return true;
+  }
 
  protected:
   SubtaskComponentBase(std::string type_name, const sched::TaskSet& tasks);
@@ -63,6 +73,7 @@ class SubtaskComponentBase : public ccm::Component {
   IrStrategy ir_mode_ = IrStrategy::kNone;
   CompletionSink* completion_sink_ = nullptr;
   std::uint64_t subjobs_executed_ = 0;
+  std::uint64_t triggers_dropped_ = 0;
 };
 
 /// Executes a non-final stage; publishes "Trigger" for the next stage.

@@ -84,6 +84,12 @@ void TaskEffector::job_arrived(TaskId task, JobId job) {
       TaskArrivePayload{task, job, context().processor, now, first});
 }
 
+void TaskEffector::rebind_admitted_placement(
+    TaskId task, std::vector<ProcessorId> placement) {
+  const auto it = admitted_tasks_.find(task);
+  if (it != admitted_tasks_.end()) it->second = std::move(placement);
+}
+
 void TaskEffector::handle_accept(const AcceptPayload& payload) {
   const ProcessorId me = context().processor;
   const sched::TaskSpec* spec = tasks_.find(payload.task);

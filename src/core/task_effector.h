@@ -45,6 +45,13 @@ class TaskEffector final : public ccm::Component {
     return immediate_releases_;
   }
 
+  /// Reconfiguration hook: a wholesale-admitted task's reservation moved, so
+  /// jobs released immediately from here must use the new placement.  No-op
+  /// when the task is not cached (it will pick the placement up from its
+  /// next Accept event).
+  void rebind_admitted_placement(TaskId task,
+                                 std::vector<ProcessorId> placement);
+
  protected:
   Status on_configure(const ccm::AttributeMap& attributes) override;
   Status on_activate() override;

@@ -27,6 +27,8 @@ struct InstanceDeployment {
   ProcessorId node;
   /// configProperty values applied at installation.
   ccm::AttributeMap properties;
+
+  [[nodiscard]] bool operator==(const InstanceDeployment&) const = default;
 };
 
 /// One receptacle-to-facet connection between deployed instances.
@@ -36,6 +38,8 @@ struct ConnectionDeployment {
   std::string receptacle;        // receptacle port name
   std::string target_instance;   // instance owning the facet
   std::string facet;             // facet port name
+
+  [[nodiscard]] bool operator==(const ConnectionDeployment&) const = default;
 };
 
 struct DeploymentPlan {

@@ -65,20 +65,30 @@ Result<ExecutionManager::LaunchReport> ExecutionManager::launch(
   for (const ConnectionDeployment& conn : plan.connections) {
     ccm::Component* target = installed.at(conn.target_instance);
     ccm::Component* source = installed.at(conn.source_instance);
-    std::any facet = target->facet(conn.facet);
-    if (!facet.has_value()) {
-      return R::error("connection '" + conn.name + "': instance '" +
-                      conn.target_instance + "' has no facet '" + conn.facet +
-                      "'");
-    }
-    if (Status s =
-            source->connect_receptacle(conn.receptacle, std::move(facet));
-        !s.is_ok()) {
-      return R::error("connection '" + conn.name + "': " + s.message());
+    if (Status s = wire_connection(conn, *source, *target); !s.is_ok()) {
+      return R::error(s.message());
     }
     ++report.connections_wired;
   }
   return report;
+}
+
+Status ExecutionManager::wire_connection(const ConnectionDeployment& connection,
+                                         ccm::Component& source,
+                                         ccm::Component& target) {
+  std::any facet = target.facet(connection.facet);
+  if (!facet.has_value()) {
+    return Status::error("connection '" + connection.name + "': instance '" +
+                         connection.target_instance + "' has no facet '" +
+                         connection.facet + "'");
+  }
+  if (Status s =
+          source.connect_receptacle(connection.receptacle, std::move(facet));
+      !s.is_ok()) {
+    return Status::error("connection '" + connection.name + "': " +
+                         s.message());
+  }
+  return Status::ok();
 }
 
 Result<ExecutionManager::LaunchReport> PlanLauncher::launch_from_xml(

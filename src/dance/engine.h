@@ -61,6 +61,13 @@ class ExecutionManager {
   [[nodiscard]] Result<LaunchReport> launch(
       const DeploymentPlan& plan, const NodeResolver& resolver,
       const ccm::ComponentFactory& factory) const;
+
+  /// Reconfiguration hook: wire a single connection between two already
+  /// installed components — the incremental form of launch()'s wiring pass,
+  /// used when a plan diff adds or rewires connections at run time.
+  static Status wire_connection(const ConnectionDeployment& connection,
+                                ccm::Component& source,
+                                ccm::Component& target);
 };
 
 /// PlanLauncher: parse descriptor text and launch in one step.

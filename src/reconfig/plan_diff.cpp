@@ -1,0 +1,279 @@
+#include "reconfig/plan_diff.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace rtcm::reconfig {
+
+namespace {
+
+using ConnectionKey = std::pair<std::string, std::string>;
+
+ConnectionKey key_of(const dance::ConnectionDeployment& c) {
+  return {c.source_instance, c.receptacle};
+}
+
+/// Same endpoint?  The `name` field is diagnostic only and ignored.
+bool same_endpoint(const dance::ConnectionDeployment& a,
+                   const dance::ConnectionDeployment& b) {
+  return a.target_instance == b.target_instance && a.facet == b.facet;
+}
+
+}  // namespace
+
+const char* to_string(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kRemoveConnection:
+      return "remove-connection";
+    case ChangeKind::kRemoveInstance:
+      return "remove-instance";
+    case ChangeKind::kMigrateInstance:
+      return "migrate-instance";
+    case ChangeKind::kReconfigureInstance:
+      return "reconfigure-instance";
+    case ChangeKind::kAddInstance:
+      return "add-instance";
+    case ChangeKind::kRewireConnection:
+      return "rewire-connection";
+    case ChangeKind::kAddConnection:
+      return "add-connection";
+  }
+  return "?";
+}
+
+std::size_t Changeset::count(ChangeKind kind) const {
+  std::size_t n = 0;
+  for (const Change& c : changes) {
+    if (c.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string Changeset::render() const {
+  std::string out;
+  for (const Change& c : changes) {
+    out += to_string(c.kind);
+    switch (c.kind) {
+      case ChangeKind::kRemoveInstance:
+      case ChangeKind::kReconfigureInstance:
+      case ChangeKind::kAddInstance:
+        out += ' ' + c.instance.id + '@' + c.instance.node.to_string();
+        break;
+      case ChangeKind::kMigrateInstance:
+        out += ' ' + c.instance.id + ' ' + c.from_node.to_string() + "->" +
+               c.instance.node.to_string();
+        break;
+      case ChangeKind::kRemoveConnection:
+      case ChangeKind::kAddConnection:
+        out += ' ' + c.connection.source_instance + '.' +
+               c.connection.receptacle + "->" + c.connection.target_instance +
+               '.' + c.connection.facet;
+        break;
+      case ChangeKind::kRewireConnection:
+        out += ' ' + c.connection.source_instance + '.' +
+               c.connection.receptacle + ": " +
+               c.old_connection.target_instance + '.' +
+               c.old_connection.facet + "->" + c.connection.target_instance +
+               '.' + c.connection.facet;
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Changeset> PlanDiffer::diff(const dance::DeploymentPlan& from,
+                                   const dance::DeploymentPlan& to) {
+  using R = Result<Changeset>;
+  if (Status s = from.validate(); !s.is_ok()) {
+    return R::error("from-plan: " + s.message());
+  }
+  if (Status s = to.validate(); !s.is_ok()) {
+    return R::error("to-plan: " + s.message());
+  }
+
+  Changeset out;
+  out.from_label = from.label;
+  out.to_label = to.label;
+
+  std::map<std::string, const dance::InstanceDeployment*> from_instances;
+  std::map<std::string, const dance::InstanceDeployment*> to_instances;
+  for (const auto& inst : from.instances) from_instances[inst.id] = &inst;
+  for (const auto& inst : to.instances) to_instances[inst.id] = &inst;
+
+  std::map<ConnectionKey, const dance::ConnectionDeployment*> from_connections;
+  std::map<ConnectionKey, const dance::ConnectionDeployment*> to_connections;
+  for (const auto& conn : from.connections) {
+    from_connections[key_of(conn)] = &conn;
+  }
+  for (const auto& conn : to.connections) to_connections[key_of(conn)] = &conn;
+
+  // A type change under the same id is remove + add; record the ids so both
+  // passes treat the instance as absent from the other plan.
+  auto retyped = [&](const std::string& id) {
+    const auto f = from_instances.find(id);
+    const auto t = to_instances.find(id);
+    return f != from_instances.end() && t != to_instances.end() &&
+           f->second->type != t->second->type;
+  };
+
+  // 1. removed connections (from-plan order).
+  for (const auto& conn : from.connections) {
+    const auto it = to_connections.find(key_of(conn));
+    if (it == to_connections.end()) {
+      Change c;
+      c.kind = ChangeKind::kRemoveConnection;
+      c.connection = conn;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  // 2. removed instances (from-plan order).
+  for (const auto& inst : from.instances) {
+    if (to_instances.count(inst.id) == 0 || retyped(inst.id)) {
+      Change c;
+      c.kind = ChangeKind::kRemoveInstance;
+      c.instance = inst;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  // 3. migrations, 4. reconfigurations (from-plan order).
+  for (const auto& inst : from.instances) {
+    const auto it = to_instances.find(inst.id);
+    if (it == to_instances.end() || retyped(inst.id)) continue;
+    const dance::InstanceDeployment& target = *it->second;
+    if (target.node != inst.node) {
+      Change c;
+      c.kind = ChangeKind::kMigrateInstance;
+      c.instance = target;
+      c.from_node = inst.node;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  for (const auto& inst : from.instances) {
+    const auto it = to_instances.find(inst.id);
+    if (it == to_instances.end() || retyped(inst.id)) continue;
+    const dance::InstanceDeployment& target = *it->second;
+    if (target.node == inst.node && !(target.properties == inst.properties)) {
+      Change c;
+      c.kind = ChangeKind::kReconfigureInstance;
+      c.instance = target;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  // 5. added instances (to-plan order, preserving install-order deps).
+  for (const auto& inst : to.instances) {
+    if (from_instances.count(inst.id) == 0 || retyped(inst.id)) {
+      Change c;
+      c.kind = ChangeKind::kAddInstance;
+      c.instance = inst;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  // 6. rewires, 7. added connections (to-plan order).
+  for (const auto& conn : to.connections) {
+    const auto it = from_connections.find(key_of(conn));
+    if (it != from_connections.end() && !same_endpoint(*it->second, conn)) {
+      Change c;
+      c.kind = ChangeKind::kRewireConnection;
+      c.connection = conn;
+      c.old_connection = *it->second;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  for (const auto& conn : to.connections) {
+    if (from_connections.count(key_of(conn)) == 0) {
+      Change c;
+      c.kind = ChangeKind::kAddConnection;
+      c.connection = conn;
+      out.changes.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+Result<dance::DeploymentPlan> apply_changeset(
+    const dance::DeploymentPlan& plan, const Changeset& changes) {
+  using R = Result<dance::DeploymentPlan>;
+  dance::DeploymentPlan out = plan;
+  out.label = changes.to_label.empty() ? plan.label : changes.to_label;
+
+  auto find_instance = [&out](const std::string& id) {
+    return std::find_if(
+        out.instances.begin(), out.instances.end(),
+        [&id](const dance::InstanceDeployment& inst) { return inst.id == id; });
+  };
+  auto find_connection = [&out](const dance::ConnectionDeployment& conn) {
+    return std::find_if(out.connections.begin(), out.connections.end(),
+                        [&conn](const dance::ConnectionDeployment& c) {
+                          return key_of(c) == key_of(conn);
+                        });
+  };
+
+  for (const Change& change : changes.changes) {
+    switch (change.kind) {
+      case ChangeKind::kRemoveConnection: {
+        const auto it = find_connection(change.connection);
+        if (it == out.connections.end()) {
+          return R::error("remove-connection: no connection on " +
+                          change.connection.source_instance + "." +
+                          change.connection.receptacle);
+        }
+        out.connections.erase(it);
+        break;
+      }
+      case ChangeKind::kRemoveInstance: {
+        const auto it = find_instance(change.instance.id);
+        if (it == out.instances.end()) {
+          return R::error("remove-instance: no instance '" +
+                          change.instance.id + "'");
+        }
+        out.instances.erase(it);
+        break;
+      }
+      case ChangeKind::kMigrateInstance:
+      case ChangeKind::kReconfigureInstance: {
+        const auto it = find_instance(change.instance.id);
+        if (it == out.instances.end()) {
+          return R::error(std::string(to_string(change.kind)) +
+                          ": no instance '" + change.instance.id + "'");
+        }
+        *it = change.instance;
+        break;
+      }
+      case ChangeKind::kAddInstance: {
+        if (find_instance(change.instance.id) != out.instances.end()) {
+          return R::error("add-instance: duplicate instance '" +
+                          change.instance.id + "'");
+        }
+        out.instances.push_back(change.instance);
+        break;
+      }
+      case ChangeKind::kRewireConnection: {
+        const auto it = find_connection(change.connection);
+        if (it == out.connections.end()) {
+          return R::error("rewire-connection: no connection on " +
+                          change.connection.source_instance + "." +
+                          change.connection.receptacle);
+        }
+        *it = change.connection;
+        break;
+      }
+      case ChangeKind::kAddConnection: {
+        if (find_connection(change.connection) != out.connections.end()) {
+          return R::error("add-connection: duplicate connection on " +
+                          change.connection.source_instance + "." +
+                          change.connection.receptacle);
+        }
+        out.connections.push_back(change.connection);
+        break;
+      }
+    }
+  }
+  if (Status s = out.validate(); !s.is_ok()) {
+    return R::error("applied plan invalid: " + s.message());
+  }
+  return out;
+}
+
+}  // namespace rtcm::reconfig

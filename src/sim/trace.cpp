@@ -26,6 +26,14 @@ const char* to_string(TraceKind kind) {
       return "idle-reset";
     case TraceKind::kReallocation:
       return "reallocation";
+    case TraceKind::kReconfigApplied:
+      return "reconfig-applied";
+    case TraceKind::kReconfigRejected:
+      return "reconfig-rejected";
+    case TraceKind::kTaskMigrated:
+      return "task-migrated";
+    case TraceKind::kNodeQuiesced:
+      return "node-quiesced";
   }
   return "?";
 }

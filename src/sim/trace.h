@@ -25,6 +25,10 @@ enum class TraceKind {
   kIdle,            // processor went idle
   kIdleReset,       // IR report removed contributions at the AC
   kReallocation,    // LB placed a subjob away from its primary processor
+  kReconfigApplied,   // a reconfiguration changeset was applied
+  kReconfigRejected,  // a reconfiguration was rejected and rolled back
+  kTaskMigrated,      // a standing reservation moved to a new placement
+  kNodeQuiesced,      // deferred passivation of a drained node completed
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind);

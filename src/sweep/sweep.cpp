@@ -1,8 +1,10 @@
 #include "sweep/sweep.h"
 
 #include <chrono>
+#include <memory>
 #include <utility>
 
+#include "reconfig/manager.h"
 #include "util/thread_pool.h"
 #include "workload/arrival.h"
 
@@ -52,12 +54,30 @@ CellResult run_cell(const Cell& cell, const workload::WorkloadShape& shape,
     result.error = status.message();
     return result;
   }
+  // The reconfiguration axis: a per-cell manager applies the cell's
+  // mode-change script inside the simulation.  Scripts are scheduled before
+  // the arrivals so same-instant ties resolve identically on every run.
+  std::unique_ptr<reconfig::ReconfigurationManager> manager;
+  if (params.reconfig_script) {
+    const std::vector<config::ModeChange> script = params.reconfig_script(cell);
+    if (!script.empty()) {
+      manager = std::make_unique<reconfig::ReconfigurationManager>(runtime);
+      if (Status status = manager->schedule_script(script); !status.is_ok()) {
+        result.error = status.message();
+        return result;
+      }
+    }
+  }
   Rng arrival_rng = rng.fork(1);
   const Time horizon = Time::epoch() + params.horizon;
   runtime.inject_arrivals(
       workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
   runtime.run_until(horizon + params.drain);
 
+  if (manager) {
+    result.reconfig_applied = manager->applied_count();
+    result.reconfig_rejected = manager->rejected_count();
+  }
   result.accept_ratio = runtime.metrics().accepted_utilization_ratio();
   result.deadline_misses = runtime.metrics().total().deadline_misses;
   OnlineStats response;

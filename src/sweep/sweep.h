@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "config/plan_builder.h"
 #include "core/runtime.h"
 #include "core/strategies.h"
 #include "sim/network.h"
@@ -47,6 +48,10 @@ struct CellResult {
   /// Host wall time of the cell simulation (non-deterministic; excluded
   /// from the deterministic report form).
   double wall_ms = 0.0;
+  /// Mode changes applied / rejected by the cell's reconfiguration script
+  /// (zero for cells without one).
+  std::uint64_t reconfig_applied = 0;
+  std::uint64_t reconfig_rejected = 0;
   /// Non-empty when the cell failed to assemble; metrics are zero then.
   std::string error;
 };
@@ -81,6 +86,11 @@ struct SweepParams {
   /// set; ablations translate `cell.variant` into config here.  Must be
   /// thread-safe (it runs concurrently on different cells).
   std::function<void(const Cell&, core::SystemConfig&)> configure;
+  /// The reconfiguration axis: maps a cell to the mode-change script a
+  /// ReconfigurationManager runs inside the cell's simulation (empty = no
+  /// reconfiguration).  Each cell owns its manager, so scripted sweeps keep
+  /// the N-thread == 1-thread byte-identity contract.  Must be thread-safe.
+  std::function<std::vector<config::ModeChange>(const Cell&)> reconfig_script;
 };
 
 struct SweepOptions {

@@ -489,13 +489,20 @@ TEST(RuntimeReconfigurationTest, TaskEffectorModeChangesAtRuntime) {
   EXPECT_EQ(rt->metrics().total().releases, 4u);
 }
 
-TEST(RuntimeReconfigurationTest, NonOptInComponentsStillRefuse) {
+TEST(RuntimeReconfigurationTest, AcSwapsStrategiesButRefusesAnalysisSwitch) {
+  // The reconfiguration engine swaps AC/LB strategy attributes on a live AC;
+  // the analysis (AUB vs DS) carries admission state and stays frozen.
   auto rt = make_runtime("T_N_N", one_periodic_two_stage());
   ccm::AttributeMap attrs;
   attrs.set_string(AdmissionControl::kAcStrategyAttr, "PJ");
-  const Status s = rt->admission_control()->configure(attrs);
+  ASSERT_TRUE(rt->admission_control()->configure(attrs).is_ok());
+  EXPECT_EQ(rt->admission_control()->ac_strategy(), AcStrategy::kPerJob);
+
+  ccm::AttributeMap analysis;
+  analysis.set_string(AdmissionControl::kAnalysisAttr, "DS");
+  const Status s = rt->admission_control()->configure(analysis);
   EXPECT_FALSE(s.is_ok());
-  EXPECT_NE(s.message().find("Active"), std::string::npos);
+  EXPECT_NE(s.message().find("live"), std::string::npos);
 }
 
 TEST(MetricsTest, RenderContainsHeadlineNumbers) {

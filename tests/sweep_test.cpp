@@ -11,6 +11,7 @@
 
 #include "sweep/report.h"
 #include "sweep/sweep.h"
+#include "test_helpers.h"
 #include "util/thread_pool.h"
 
 namespace rtcm {
@@ -131,6 +132,77 @@ TEST(SweepEngine, ConfigureHookSeesVariantAxis) {
   // On the imbalanced workload the paper's heuristic must beat no-LB.
   EXPECT_GT(report.mean_accept_ratio("J_N_T", "lowest-util"),
             report.mean_accept_ratio("J_N_T", "primary"));
+}
+
+/// The reconfiguration axis: "reconfig" cells run a scripted mid-run mode
+/// change (LB strategy swap + node drain + undrain) inside each cell's own
+/// simulator/manager pair; "static" cells are the control.
+sweep::SweepParams mode_change_params() {
+  sweep::SweepParams params = fast_params();
+  params.reconfig_script =
+      [](const sweep::Cell& cell) -> std::vector<config::ModeChange> {
+    if (cell.variant != "reconfig") return {};
+    return rtcm::testing::ReconfigScriptBuilder()
+        .swap_strategies(Time(Duration::seconds(2).usec()), "J_N_J")
+        .drain(Time(Duration::seconds(3).usec()), 4)
+        .swap_lb_policy(Time(Duration::seconds(4).usec()), "primary")
+        .undrain(Time(Duration::seconds(6).usec()), 4)
+        .build();
+  };
+  return params;
+}
+
+TEST(SweepEngine, ModeChangeCellsAreByteIdenticalAcrossThreadCounts) {
+  sweep::Grid grid;
+  grid.combos = {core::StrategyCombination::parse("T_N_N").value(),
+                 core::StrategyCombination::parse("J_J_J").value()};
+  grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
+  grid.variants = {"static", "reconfig"};
+  grid.seeds = 2;
+  const sweep::SweepParams params = mode_change_params();
+
+  sweep::SweepOptions single;
+  single.threads = 1;
+  sweep::SweepOptions sharded;
+  sharded.threads = 4;
+  const auto serial = sweep::run_sweep(grid, params, single);
+  const auto parallel = sweep::run_sweep(grid, params, sharded);
+
+  EXPECT_EQ(report_of("reconfig", serial).deterministic_dump(),
+            report_of("reconfig", parallel).deterministic_dump());
+
+  ASSERT_EQ(serial.size(), grid.cells().size());
+  for (const auto& cell : serial) {
+    EXPECT_TRUE(cell.error.empty()) << cell.error;
+    EXPECT_EQ(cell.deadline_misses, 0u);
+    if (cell.cell.variant == "reconfig") {
+      // The script's swap + drain + undrain all applied in-cell.
+      EXPECT_GE(cell.reconfig_applied, 3u) << cell.cell.combo;
+    } else {
+      EXPECT_EQ(cell.reconfig_applied, 0u);
+      EXPECT_EQ(cell.reconfig_rejected, 0u);
+    }
+  }
+}
+
+TEST(SweepReport, ReconfigCountersSurviveJsonRoundTrip) {
+  std::vector<sweep::CellResult> cells(2);
+  cells[0].cell = {"T_N_N", "s", "reconfig", 1};
+  cells[0].reconfig_applied = 3;
+  cells[0].reconfig_rejected = 1;
+  cells[1].cell = {"T_N_N", "s", "static", 1};
+  const sweep::Report report = report_of("rc", std::move(cells));
+
+  const auto parsed = json::Value::parse(report.to_json().dump());
+  ASSERT_TRUE(parsed.is_ok());
+  const auto restored = sweep::Report::from_json(parsed.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.message();
+  EXPECT_EQ(restored.value().cells[0].reconfig_applied, 3u);
+  EXPECT_EQ(restored.value().cells[0].reconfig_rejected, 1u);
+  EXPECT_EQ(restored.value().cells[1].reconfig_applied, 0u);
+  // Cells without reconfiguration keep the historical byte layout.
+  EXPECT_EQ(report.to_json().dump().find("reconfig_applied\":0"),
+            std::string::npos);
 }
 
 TEST(SweepEngine, InvalidComboSurfacesAsCellError) {

@@ -9,10 +9,13 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "config/plan_builder.h"
 #include "core/runtime.h"
 #include "dance/engine.h"
 #include "dance/plan_xml.h"
+#include "reconfig/manager.h"
 #include "test_helpers.h"
 #include "workload/arrival.h"
 #include "workload/generator.h"
@@ -464,6 +467,103 @@ TEST(IdleResetLedgerTest, ResetsNeverIncreaseLedgeredUtilization) {
   EXPECT_DOUBLE_EQ(
       runtime.admission_control()->state().ledger().total_all(), 0.0);
 }
+
+// --- Reconfiguration safety --------------------------------------------------
+//
+// The transition guarantees (ISSUE 3 / §formal reconfiguration treatments):
+// across ANY randomized sequence of mode changes — strategy swaps, LB policy
+// swaps, node drains and undrains, including infeasible ones that must roll
+// back — (1) no job the AC ever released misses its deadline, (2) no job is
+// lost (conservation), and (3) the synthetic-utilization ledger never goes
+// negative and never exceeds the AUB per-processor bound 2 - sqrt(2): every
+// live contribution belongs to an admitted footprint, and term(U) <= 1
+// forces U <= 2 - sqrt(2) on every visited processor.  The ledger is probed
+// on a fine grid of instants scheduled before the script and the arrivals,
+// so probes observe only fully-applied transitions.
+
+struct ReconfigSafetyCase {
+  std::uint64_t seed;
+  const char* strategies;
+  std::size_t steps;
+};
+
+class ReconfigSafetyTest : public ::testing::TestWithParam<ReconfigSafetyCase> {
+};
+
+TEST_P(ReconfigSafetyTest, NoAdmittedDeadlineMissOrLedgerViolation) {
+  const ReconfigSafetyCase& p = GetParam();
+  rtcm::testing::ImbalancedShape shape;
+  shape.primaries = 3;
+  shape.replicas = 2;
+  shape.utilization = 0.6;
+  auto tasks = rtcm::testing::make_imbalanced_workload(p.seed, shape);
+  core::SystemConfig config;
+  config.strategies = core::StrategyCombination::parse(p.strategies).value();
+  config.comm_latency = Duration::zero();
+  core::SystemRuntime runtime(config, std::move(tasks));
+  ASSERT_TRUE(runtime.assemble().is_ok());
+
+  const Time horizon(Duration::seconds(10).usec());
+  const Time end = horizon + Duration::seconds(11);
+
+  // Ledger probes first: at tied instants they run before any same-instant
+  // reconfiguration or arrival, so every observation is a quiescent state.
+  const double aub_processor_bound = 2.0 - std::sqrt(2.0);
+  std::size_t probes = 0;
+  double max_observed = 0.0;
+  double min_observed = 0.0;
+  for (Time t = Time(0); t <= end; t = t + Duration::milliseconds(2)) {
+    runtime.simulator().schedule_at(t, [&runtime, &probes, &max_observed,
+                                        &min_observed] {
+      const auto& ledger = runtime.admission_control()->state().ledger();
+      for (const ProcessorId proc : ledger.processors()) {
+        max_observed = std::max(max_observed, ledger.total(proc));
+        min_observed = std::min(min_observed, ledger.total(proc));
+      }
+      ++probes;
+    });
+  }
+
+  reconfig::ReconfigurationManager manager(runtime);
+  ASSERT_TRUE(manager
+                  .schedule_script(rtcm::testing::make_random_reconfig_script(
+                      p.seed, runtime.app_processors(), horizon, p.steps))
+                  .is_ok());
+
+  Rng arrival_rng = Rng(p.seed).fork(1);
+  runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  runtime.run_until(end);
+
+  // (3) ledger bounds, at every probe instant.
+  EXPECT_GT(probes, 1000u);
+  EXPECT_GE(min_observed, -1e-12);
+  EXPECT_LE(max_observed, aub_processor_bound + 1e-9);
+  EXPECT_GT(max_observed, 0.0);  // the probe grid saw live contributions
+
+  // (1) + (2): no released job missed, none lost, and the run did real work
+  // across at least one applied mode change.
+  const auto& total = runtime.metrics().total();
+  EXPECT_EQ(total.deadline_misses, 0u);
+  EXPECT_EQ(total.arrivals, total.releases + total.rejections);
+  EXPECT_EQ(total.releases, total.completions);
+  EXPECT_GT(total.completions, 0u);
+  EXPECT_GE(manager.applied_count() + manager.rejected_count(), p.steps);
+  EXPECT_GT(manager.applied_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSequences, ReconfigSafetyTest,
+    ::testing::Values(ReconfigSafetyCase{51, "T_N_N", 6},
+                      ReconfigSafetyCase{52, "J_J_J", 6},
+                      ReconfigSafetyCase{53, "T_T_N", 8},
+                      ReconfigSafetyCase{54, "J_N_T", 8},
+                      ReconfigSafetyCase{55, "J_J_N", 10},
+                      ReconfigSafetyCase{56, "T_T_T", 10}),
+    [](const ::testing::TestParamInfo<ReconfigSafetyCase>& info) {
+      return "Seed" + std::to_string(info.param.seed) + "_" +
+             info.param.strategies;
+    });
 
 // --- Full-runtime trace determinism ------------------------------------------
 //

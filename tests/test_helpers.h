@@ -3,10 +3,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "config/plan_builder.h"
 #include "core/runtime.h"
+#include "core/strategies.h"
 #include "sched/task.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -146,6 +149,108 @@ inline std::vector<core::Arrival> make_bursty_arrivals(
                      return a.time < b.time;
                    });
   return merged;
+}
+
+// --- Reconfiguration scripts -------------------------------------------------
+//
+// A reconfiguration script is a plan plus a list of timed plan mutations —
+// the currency shared by the unit, property and sweep layers.  The builder
+// keeps scripted scenarios one-liners; make_random_reconfig_script generates
+// the randomized sequences the property tests sweep over.
+
+class ReconfigScriptBuilder {
+ public:
+  ReconfigScriptBuilder& swap_strategies(Time at, const std::string& combo) {
+    config::ModeChange change;
+    change.at = at;
+    change.label = "swap-strategies-" + combo;
+    change.strategies = core::StrategyCombination::parse(combo).value();
+    script_.push_back(std::move(change));
+    return *this;
+  }
+
+  ReconfigScriptBuilder& swap_lb_policy(Time at, std::string policy) {
+    config::ModeChange change;
+    change.at = at;
+    change.label = "swap-lb-" + policy;
+    change.lb_policy = std::move(policy);
+    script_.push_back(std::move(change));
+    return *this;
+  }
+
+  ReconfigScriptBuilder& drain(Time at, std::int32_t node) {
+    config::ModeChange change;
+    change.at = at;
+    change.label = "drain-P" + std::to_string(node);
+    change.drain.push_back(ProcessorId(node));
+    script_.push_back(std::move(change));
+    return *this;
+  }
+
+  ReconfigScriptBuilder& undrain(Time at, std::int32_t node) {
+    config::ModeChange change;
+    change.at = at;
+    change.label = "undrain-P" + std::to_string(node);
+    change.undrain.push_back(ProcessorId(node));
+    script_.push_back(std::move(change));
+    return *this;
+  }
+
+  [[nodiscard]] std::vector<config::ModeChange> build() const {
+    std::vector<config::ModeChange> script = script_;
+    std::stable_sort(script.begin(), script.end(),
+                     [](const config::ModeChange& a,
+                        const config::ModeChange& b) { return a.at < b.at; });
+    return script;
+  }
+
+ private:
+  std::vector<config::ModeChange> script_;
+};
+
+/// A randomized mode-change sequence over `processors`, deterministic in
+/// `seed`: LB-policy swaps, valid strategy swaps, drains and undrains at
+/// random instants in (0, horizon).  Infeasible drains are intended — they
+/// exercise the rejection/rollback path, which must also preserve every
+/// guarantee the property tests check.
+inline std::vector<config::ModeChange> make_random_reconfig_script(
+    std::uint64_t seed, const std::vector<ProcessorId>& processors,
+    Time horizon, std::size_t steps = 6) {
+  Rng rng = Rng(seed).fork(0x5ec0);
+  const auto combos = core::valid_combinations();
+  const char* policies[] = {"lowest-util", "random", "primary"};
+  ReconfigScriptBuilder builder;
+  std::vector<std::int32_t> drained;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const Time at =
+        Time(rng.uniform_int(1, horizon.usec() > 1 ? horizon.usec() : 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        builder.swap_lb_policy(at, policies[rng.index(3)]);
+        break;
+      case 1:
+        builder.swap_strategies(at, combos[rng.index(combos.size())].label());
+        break;
+      case 2: {
+        const std::int32_t node =
+            processors[rng.index(processors.size())].value();
+        builder.drain(at, node);
+        drained.push_back(node);
+        break;
+      }
+      default:
+        if (drained.empty()) {
+          builder.swap_lb_policy(at, policies[rng.index(3)]);
+        } else {
+          const std::size_t pick = rng.index(drained.size());
+          builder.undrain(at, drained[pick]);
+          drained.erase(drained.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+        }
+        break;
+    }
+  }
+  return builder.build();
 }
 
 }  // namespace rtcm::testing
