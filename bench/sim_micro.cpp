@@ -1,0 +1,303 @@
+// Simulation-kernel micro-benchmarks: schedule / cancel / dispatch ns/op.
+//
+// Every paper figure is produced through the discrete-event kernel in
+// src/sim/, so its per-event cost bounds how far the sweep grid can scale.
+// This bench times the kernel's primitive operations in isolation:
+//
+//   schedule_dispatch_fifo    in-order schedule + drain (arrival streams)
+//   schedule_dispatch_random  scrambled times (worst-case heap sifts)
+//   schedule_cancel           schedule + O(1) lazy cancel + drain of dead
+//                             heap entries (admission backstops that rarely
+//                             fire)
+//   reschedule_churn          one event re-timed repeatedly (the preemptive
+//                             processor's completion-event pattern)
+//   processor_preempt_storm   end-to-end Processor preempt/resume chains
+//   baseline_map_fifo /       the previous kernel's data structure — a
+//   baseline_map_random       std::map<(time,seq), std::function> — run on
+//                             identical workloads, so every report carries
+//                             its own before/after comparison
+//
+// Times are host wall times (not deterministic), so the report shares only
+// the envelope with the sweep benches: check_bench_regression.py
+// schema-checks it and tracks the numbers through CI artifacts, like
+// fig8_overheads.  Flags: --events=N --repeats=N --json_out=PATH
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/processor.h"
+#include "sim/simulator.h"
+#include "sweep/report.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/time.h"
+
+using namespace rtcm;
+
+namespace {
+
+struct OpResult {
+  std::string name;
+  double ns_per_op = 0.0;       // best repeat (least scheduler noise)
+  double mean_ns_per_op = 0.0;  // mean across repeats
+  std::uint64_t ops = 0;        // operations timed per repeat
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Deterministic xorshift64* stream for scrambled event times.
+class Scramble {
+ public:
+  explicit Scramble(std::uint64_t seed) : state_(seed | 1) {}
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Time `op(events)` `repeats` times; ns/op over `ops_per_run` operations.
+template <typename Op>
+OpResult time_op(std::string name, int repeats, std::uint64_t ops_per_run,
+                 Op op) {
+  OpResult result;
+  result.name = std::move(name);
+  result.ops = ops_per_run;
+  double best = 0.0;
+  double sum = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto started = Clock::now();
+    op();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - started)
+            .count() /
+        static_cast<double>(ops_per_run);
+    sum += ns;
+    if (r == 0 || ns < best) best = ns;
+  }
+  result.ns_per_op = best;
+  result.mean_ns_per_op = sum / repeats;
+  return result;
+}
+
+/// The previous kernel's queue, reconstructed as a reference baseline: one
+/// red-black-tree node plus one type-erased std::function per event.
+class MapQueue {
+ public:
+  void schedule(std::int64_t at, std::function<void()> fn) {
+    queue_.emplace(Key{at, next_seq_++}, std::move(fn));
+  }
+  bool step() {
+    if (queue_.empty()) return false;
+    auto it = queue_.begin();
+    now_ = it->first.first;
+    std::function<void()> fn = std::move(it->second);
+    queue_.erase(it);
+    fn();
+    return true;
+  }
+  /// Virtual time of the last dispatched event — mirrors Simulator::now()
+  /// so the steady-state baseline runs the exact same workload.
+  [[nodiscard]] std::int64_t now() const { return now_; }
+
+ private:
+  using Key = std::pair<std::int64_t, std::uint64_t>;
+  std::uint64_t next_seq_ = 1;
+  std::int64_t now_ = 0;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const auto events =
+      static_cast<std::uint64_t>(flags.get_int("events", 200000));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 5));
+  const std::string json_out = flags.get_string("json_out", "");
+
+  std::printf(
+      "Simulation-kernel micro-benchmarks\n"
+      "%llu events per run, %d repeats (ns/op = best repeat)\n\n",
+      static_cast<unsigned long long>(events), repeats);
+
+  // Sinks the callbacks write to, so the closures are not optimized away.
+  std::uint64_t sink = 0;
+
+  std::vector<OpResult> results;
+
+  results.push_back(time_op("schedule_dispatch_fifo", repeats, events, [&] {
+    sim::Simulator sim;
+    for (std::uint64_t i = 0; i < events; ++i) {
+      sim.schedule_at(Time(static_cast<std::int64_t>(i)),
+                      [&sink, i] { sink += i; });
+    }
+    sim.run_all();
+  }));
+
+  results.push_back(time_op("schedule_dispatch_random", repeats, events, [&] {
+    sim::Simulator sim;
+    Scramble scramble(42);
+    for (std::uint64_t i = 0; i < events; ++i) {
+      const auto at = static_cast<std::int64_t>(scramble.next() >> 24);
+      sim.schedule_at(Time(at), [&sink, i] { sink += i; });
+    }
+    sim.run_all();
+  }));
+
+  // Steady-state window: the shape real runs have — a bounded pending set
+  // (releases, completions, backstops) with schedule and dispatch
+  // interleaved, not a bulk load followed by a bulk drain.
+  constexpr std::uint64_t kWindow = 256;
+  results.push_back(time_op("steady_state_window", repeats, events, [&] {
+    sim::Simulator sim;
+    Scramble scramble(7);
+    for (std::uint64_t i = 0; i < kWindow; ++i) {
+      sim.schedule_at(Time(static_cast<std::int64_t>(scramble.next() % 1000)),
+                      [&sink] { ++sink; });
+    }
+    for (std::uint64_t i = 0; i < events; ++i) {
+      sim.step();
+      const std::int64_t at =
+          sim.now().usec() + static_cast<std::int64_t>(scramble.next() % 1000);
+      sim.schedule_at(Time(at), [&sink] { ++sink; });
+    }
+    sim.run_all();
+  }));
+
+  results.push_back(time_op("baseline_map_steady_state", repeats, events, [&] {
+    MapQueue queue;
+    Scramble scramble(7);
+    for (std::uint64_t i = 0; i < kWindow; ++i) {
+      queue.schedule(static_cast<std::int64_t>(scramble.next() % 1000),
+                     [&sink] { ++sink; });
+    }
+    for (std::uint64_t i = 0; i < events; ++i) {
+      queue.step();
+      const std::int64_t at =
+          queue.now() + static_cast<std::int64_t>(scramble.next() % 1000);
+      queue.schedule(at, [&sink] { ++sink; });
+    }
+    while (queue.step()) {
+    }
+  }));
+
+  results.push_back(time_op("schedule_cancel", repeats, events, [&] {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(events);
+    for (std::uint64_t i = 0; i < events; ++i) {
+      handles.push_back(sim.schedule_at(Time(static_cast<std::int64_t>(i)),
+                                        [&sink, i] { sink += i; }));
+    }
+    for (const sim::EventHandle h : handles) sim.cancel(h);
+    sim.run_all();  // drains the dead heap entries
+  }));
+
+  results.push_back(time_op("reschedule_churn", repeats, events, [&] {
+    sim::Simulator sim;
+    sim::EventHandle h =
+        sim.schedule_at(Time(static_cast<std::int64_t>(events) + 1),
+                        [&sink] { ++sink; });
+    for (std::uint64_t i = 0; i < events; ++i) {
+      sim.reschedule(h, Time(static_cast<std::int64_t>(events) + 1 +
+                             static_cast<std::int64_t>(i % 7)));
+    }
+    sim.run_all();
+  }));
+
+  // End-to-end processor path: each wave submits a low-priority item, then
+  // a high-priority item that preempts it — exercising submit, the
+  // completion-event reschedule, and resume.
+  const std::uint64_t waves = events / 4;
+  results.push_back(time_op("processor_preempt_storm", repeats, waves, [&] {
+    sim::Simulator sim;
+    sim::Processor cpu(sim, ProcessorId(0));
+    for (std::uint64_t w = 0; w < waves; ++w) {
+      const auto base = static_cast<std::int64_t>(w) * 100;
+      sim.schedule_at(Time(base), [&cpu, &sink] {
+        cpu.submit({1, Priority(5), Duration(40),
+                    [&sink](std::uint64_t id) { sink += id; }});
+      });
+      sim.schedule_at(Time(base + 10), [&cpu, &sink] {
+        cpu.submit({2, Priority(1), Duration(20),
+                    [&sink](std::uint64_t id) { sink += id; }});
+      });
+    }
+    sim.run_all();
+  }));
+
+  results.push_back(time_op("baseline_map_fifo", repeats, events, [&] {
+    MapQueue queue;
+    for (std::uint64_t i = 0; i < events; ++i) {
+      queue.schedule(static_cast<std::int64_t>(i), [&sink, i] { sink += i; });
+    }
+    while (queue.step()) {
+    }
+  }));
+
+  results.push_back(time_op("baseline_map_random", repeats, events, [&] {
+    MapQueue queue;
+    Scramble scramble(42);
+    for (std::uint64_t i = 0; i < events; ++i) {
+      const auto at = static_cast<std::int64_t>(scramble.next() >> 24);
+      queue.schedule(at, [&sink, i] { sink += i; });
+    }
+    while (queue.step()) {
+    }
+  }));
+
+  std::printf("  %-28s %12s %12s %12s\n", "operation", "ns/op", "mean ns/op",
+              "ops/run");
+  for (const OpResult& r : results) {
+    std::printf("  %-28s %12.1f %12.1f %12llu\n", r.name.c_str(), r.ns_per_op,
+                r.mean_ns_per_op, static_cast<unsigned long long>(r.ops));
+  }
+  std::printf("\n(checksum %llu)\n", static_cast<unsigned long long>(sink));
+
+  if (!json_out.empty()) {
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", sweep::kReportSchemaVersion);
+    doc.set("name", "sim_micro");
+    doc.set("git_sha", sweep::git_head_sha());
+    json::Value params = json::Value::object();
+    params.set("events", static_cast<std::int64_t>(events));
+    params.set("repeats", static_cast<std::int64_t>(repeats));
+    doc.set("params", params);
+    json::Value operations = json::Value::array();
+    for (const OpResult& r : results) {
+      json::Value entry = json::Value::object();
+      entry.set("name", r.name);
+      entry.set("ns_per_op", r.ns_per_op);
+      entry.set("mean_ns_per_op", r.mean_ns_per_op);
+      entry.set("ops", static_cast<std::int64_t>(r.ops));
+      operations.push_back(std::move(entry));
+    }
+    doc.set("operations", operations);
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    const std::string text = doc.dump();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", json_out.c_str());
+  }
+  return 0;
+}

@@ -205,11 +205,12 @@ sched::AdmissionDecision AdmissionControl::test(
   ++counters_.admission_tests;
   const auto decision = sched::aub_admission_test(
       state_.ledger(), spec.id, stages, state_.current_footprints());
-  context().trace.record(
-      {context().sim.now(), sim::TraceKind::kAdmissionTest,
-       context().processor, spec.id, JobId(),
-       strfmt("lhs=%.3f %s", decision.candidate_lhs,
-              decision.admitted ? "pass" : "fail")});
+  context().trace.record_lazy(
+      context().sim.now(), sim::TraceKind::kAdmissionTest,
+      context().processor, spec.id, JobId(), [&decision] {
+        return strfmt("lhs=%.3f %s", decision.candidate_lhs,
+                      decision.admitted ? "pass" : "fail");
+      });
   return decision;
 }
 
@@ -264,11 +265,12 @@ void AdmissionControl::handle_ds_aperiodic(const sched::TaskSpec& spec,
   const Duration round_trip = ds_->config().hop_overhead * 2;
   const Duration bound = bounds.back() + round_trip;
   const bool admitted = bound <= spec.deadline;
-  context().trace.record(
-      {context().sim.now(), sim::TraceKind::kAdmissionTest,
-       context().processor, spec.id, JobId(),
-       strfmt("ds-bound=%s %s", bound.to_string().c_str(),
-              admitted ? "pass" : "fail")});
+  context().trace.record_lazy(
+      context().sim.now(), sim::TraceKind::kAdmissionTest,
+      context().processor, spec.id, JobId(), [&bound, admitted] {
+        return strfmt("ds-bound=%s %s", bound.to_string().c_str(),
+                      admitted ? "pass" : "fail");
+      });
   if (!admitted) {
     reject(a);
     return;
@@ -437,10 +439,11 @@ Result<AdmissionControl::TransitionSummary> AdmissionControl::apply_drain(
   // is known to succeed — a rolled-back migration never happened.
   for (const MigrationRecord& m : summary.migrated) {
     ++counters_.migrations;
-    context().trace.record({context().sim.now(), sim::TraceKind::kTaskMigrated,
-                            context().processor, m.task, JobId(),
-                            placement_string(m.from) + " -> " +
-                                placement_string(m.to)});
+    context().trace.record_lazy(
+        context().sim.now(), sim::TraceKind::kTaskMigrated,
+        context().processor, m.task, JobId(), [&m] {
+          return placement_string(m.from) + " -> " + placement_string(m.to);
+        });
   }
 
   // Frozen LB-per-Task plans of non-reserved (per-job admitted) tasks are
@@ -500,10 +503,12 @@ void AdmissionControl::handle_idle_reset(const IdleResetPayload& payload) {
   }
   counters_.subjobs_reset += applied;
   if (metrics_) metrics_->on_idle_reset(applied);
-  context().trace.record({context().sim.now(), sim::TraceKind::kIdleReset,
-                          payload.processor, TaskId(), JobId(),
-                          strfmt("%zu applied of %zu reported", applied,
-                                 payload.completed.size())});
+  context().trace.record_lazy(
+      context().sim.now(), sim::TraceKind::kIdleReset, payload.processor,
+      TaskId(), JobId(), [applied, &payload] {
+        return strfmt("%zu applied of %zu reported", applied,
+                      payload.completed.size());
+      });
 }
 
 }  // namespace rtcm::core

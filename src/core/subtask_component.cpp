@@ -94,16 +94,23 @@ void SubtaskComponentBase::handle_trigger(const TriggerPayload& payload) {
   const std::uint64_t id =
       (static_cast<std::uint64_t>(payload.job.value()) << 8) |
       static_cast<std::uint64_t>(stage_ & 0xff);
-  const TriggerPayload captured = payload;
+  // Non-const on purpose: a const by-copy capture would make the lambda's
+  // member const, forcing delegate moves through the allocating copy
+  // constructor and failing CompletionFn's inline-storage requirements.
+  TriggerPayload captured = payload;
 
   // Under DS analysis, aperiodic subjobs execute through this processor's
   // deferrable server (budget-limited, above all EDMS priorities).
   const sched::TaskSpec* spec = tasks_.find(task_);
   assert(spec);
+  auto on_done = [this, captured](std::uint64_t) { finish(captured); };
+  // The per-subjob completion delegate; growing events::TriggerPayload past
+  // CompletionFn's inline capacity would silently put a heap allocation
+  // back on every dispatched subjob.
+  static_assert(sim::CompletionFn::fits_inline<decltype(on_done)>);
   if (spec->kind == sched::TaskKind::kAperiodic &&
       context().aperiodic_server != nullptr) {
-    context().aperiodic_server->submit(
-        id, execution_, [this, captured](std::uint64_t) { finish(captured); });
+    context().aperiodic_server->submit(id, execution_, std::move(on_done));
     return;
   }
 
@@ -112,16 +119,18 @@ void SubtaskComponentBase::handle_trigger(const TriggerPayload& payload) {
   item.id = id;
   item.priority = priority_;
   item.execution = execution_;
-  item.on_complete = [this, captured](std::uint64_t) { finish(captured); };
+  item.on_complete = std::move(on_done);
   context().cpu.submit(std::move(item));
 }
 
 void SubtaskComponentBase::finish(const TriggerPayload& payload) {
   ++subjobs_executed_;
   const Time now = context().sim.now();
-  context().trace.record({now, sim::TraceKind::kSubjobComplete,
-                          context().processor, task_, payload.job,
-                          "stage " + std::to_string(stage_)});
+  context().trace.record_lazy(now, sim::TraceKind::kSubjobComplete,
+                              context().processor, task_, payload.job,
+                              [this] {
+                                return "stage " + std::to_string(stage_);
+                              });
 
   const sched::TaskSpec* spec = tasks_.find(task_);
   assert(spec);
@@ -161,10 +170,11 @@ void LastSubtask::on_subjob_finished(const TriggerPayload& payload) {
   context().trace.record({now, sim::TraceKind::kJobComplete,
                           context().processor, task(), payload.job, ""});
   if (now > payload.absolute_deadline) {
-    context().trace.record({now, sim::TraceKind::kDeadlineMiss,
-                            context().processor, task(), payload.job,
-                            "late by " +
-                                (now - payload.absolute_deadline).to_string()});
+    context().trace.record_lazy(
+        now, sim::TraceKind::kDeadlineMiss, context().processor, task(),
+        payload.job, [&] {
+          return "late by " + (now - payload.absolute_deadline).to_string();
+        });
   }
   if (listener_ != nullptr) {
     listener_->job_completed(task(), payload.job, payload.release_time, now,

@@ -110,10 +110,12 @@ void TaskEffector::handle_accept(const AcceptPayload& payload) {
   if (!payload.placement.empty() && payload.placement.front() == me) {
     const Time now = context().sim.now();
     if (payload.placement.front() != payload.arrival_processor) {
-      context().trace.record({now, sim::TraceKind::kReallocation, me,
-                              payload.task, payload.job,
-                              "stage0 re-allocated from " +
-                                  payload.arrival_processor.to_string()});
+      context().trace.record_lazy(
+          now, sim::TraceKind::kReallocation, me, payload.task, payload.job,
+          [&payload] {
+            return "stage0 re-allocated from " +
+                   payload.arrival_processor.to_string();
+          });
     }
     release(*spec, payload.job, now, payload.placement,
             payload.absolute_deadline);

@@ -19,23 +19,42 @@ const char* to_string(EventType type) {
 }
 
 std::string Event::to_string() const {
+  // Sequential appends, not `" " + x.to_string() + ...`: the literal+rvalue
+  // operator+ chain trips GCC 12's -Wrestrict false positive when inlined
+  // at -O3 (PR105651), and the library builds with -Werror.
   std::string out = events::to_string(type());
-  out += " from " + source.to_string() + " at " + published.to_string();
+  out += " from ";
+  out += source.to_string();
+  out += " at ";
+  out += published.to_string();
   std::visit(
       [&out](const auto& p) {
         using T = std::decay_t<decltype(p)>;
         if constexpr (std::is_same_v<T, TaskArrivePayload>) {
-          out += " " + p.task.to_string() + "/" + p.job.to_string() + " @" +
-                 p.arrival_processor.to_string();
+          out += ' ';
+          out += p.task.to_string();
+          out += '/';
+          out += p.job.to_string();
+          out += " @";
+          out += p.arrival_processor.to_string();
         } else if constexpr (std::is_same_v<T, AcceptPayload> ||
                              std::is_same_v<T, RejectPayload>) {
-          out += " " + p.task.to_string() + "/" + p.job.to_string();
+          out += ' ';
+          out += p.task.to_string();
+          out += '/';
+          out += p.job.to_string();
         } else if constexpr (std::is_same_v<T, TriggerPayload>) {
-          out += " " + p.task.to_string() + "/" + p.job.to_string() +
-                 " stage " + std::to_string(p.stage);
+          out += ' ';
+          out += p.task.to_string();
+          out += '/';
+          out += p.job.to_string();
+          out += " stage ";
+          out += std::to_string(p.stage);
         } else if constexpr (std::is_same_v<T, IdleResetPayload>) {
-          out += " " + p.processor.to_string() + " x" +
-                 std::to_string(p.completed.size());
+          out += ' ';
+          out += p.processor.to_string();
+          out += " x";
+          out += std::to_string(p.completed.size());
         }
       },
       payload);

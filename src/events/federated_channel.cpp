@@ -1,6 +1,7 @@
 #include "events/federated_channel.h"
 
 #include <cassert>
+#include <utility>
 
 namespace rtcm::events {
 
@@ -29,8 +30,12 @@ void FederatedEventChannel::push(ProcessorId source, EventPayload payload) {
     if (proc == source) ++stats_.local_deliveries;
     else ++stats_.remote_deliveries;
     LocalEventChannel* dest = chan.get();
-    network_.send(source, proc,
-                  [dest, event] { dest->deliver(event); });
+    auto deliver = [dest, event] { dest->deliver(event); };
+    // This is the hottest delegate in the middleware (one per event per
+    // destination); growing events::Event past EventFn's inline capacity
+    // would silently put a heap allocation back on every delivery.
+    static_assert(sim::EventFn::fits_inline<decltype(deliver)>);
+    network_.send(source, proc, std::move(deliver));
   }
 }
 

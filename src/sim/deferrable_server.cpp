@@ -19,7 +19,7 @@ void DeferrableServer::start() {
 }
 
 void DeferrableServer::submit(std::uint64_t id, Duration execution,
-                              std::function<void(std::uint64_t)> on_complete) {
+                              CompletionFn on_complete) {
   assert(started_ && "start() the server before submitting work");
   assert(execution > Duration::zero());
   // Insert in admission order (ascending id).  Position 0 is exempt while a

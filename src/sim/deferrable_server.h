@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "sim/processor.h"
 #include "sim/simulator.h"
@@ -65,7 +64,7 @@ class DeferrableServer {
   /// ordering the delay-bound analysis assumes.  The chunk currently
   /// executing is not preempted by a lower id.
   void submit(std::uint64_t id, Duration execution,
-              std::function<void(std::uint64_t id)> on_complete);
+              CompletionFn on_complete);
 
   [[nodiscard]] const DeferrableServerParams& params() const {
     return params_;
@@ -78,7 +77,7 @@ class DeferrableServer {
   struct Pending {
     std::uint64_t id;
     Duration remaining;
-    std::function<void(std::uint64_t)> on_complete;
+    CompletionFn on_complete;
   };
 
   /// Dispatch the next chunk if work and budget are available.

@@ -34,8 +34,7 @@ Duration UniformJitterLatency::latency(ProcessorId from,
   return base_ + Duration(offset);
 }
 
-void Network::send(ProcessorId from, ProcessorId to,
-                   std::function<void()> on_deliver) {
+void Network::send(ProcessorId from, ProcessorId to, EventFn on_deliver) {
   assert(on_deliver);
   const Duration lat = model_->latency(from, to);
   assert(!lat.is_negative());

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "sim/simulator.h"
@@ -78,7 +77,7 @@ class Network {
   Network(Simulator& sim, std::unique_ptr<LatencyModel> model);
 
   /// Deliver `on_deliver` at the destination after the link latency.
-  void send(ProcessorId from, ProcessorId to, std::function<void()> on_deliver);
+  void send(ProcessorId from, ProcessorId to, EventFn on_deliver);
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] const LatencyModel& model() const { return *model_; }

@@ -15,28 +15,33 @@ void Processor::submit(WorkItem item) {
   if (item.priority.preempts(running_->item.priority)) {
     // Preempt: account for the burst executed so far, park the running item
     // back in the ready queue with its remaining demand, start the new one.
+    // The pending completion event is handed to start(), which re-times it
+    // for the preempting item instead of cancelling and re-allocating.
     const Duration ran = sim_.now() - running_->started;
     running_->item.execution -= ran;
     assert(!running_->item.execution.is_negative());
     stats_.busy_time += ran;
     ++stats_.preemptions;
-    sim_.cancel(running_->completion);
+    const EventHandle pending = running_->completion;
     WorkItem preempted = std::move(running_->item);
     running_.reset();
     ready_.emplace_back(next_seq_++, std::move(preempted));
-    start(std::move(item));
+    start(std::move(item), pending);
     return;
   }
   ready_.emplace_back(next_seq_++, std::move(item));
 }
 
-void Processor::start(WorkItem item) {
+void Processor::start(WorkItem item, EventHandle reuse) {
   assert(!running_);
   Running r;
   r.started = sim_.now();
   r.item = std::move(item);
-  r.completion = sim_.schedule_after(r.item.execution,
-                                     [this] { on_completion_event(); });
+  const Time fire = r.started + r.item.execution;
+  if (!sim_.reschedule(reuse, fire)) {
+    reuse = sim_.schedule_at(fire, [this] { on_completion_event(); });
+  }
+  r.completion = reuse;
   running_ = std::move(r);
 }
 

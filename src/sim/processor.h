@@ -12,18 +12,24 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <optional>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "util/ids.h"
+#include "util/inline_fn.h"
 #include "util/priority.h"
 #include "util/time.h"
 
 namespace rtcm::sim {
 
-/// One schedulable unit of execution (a subjob).
+/// Completion callback for served/dispatched subjobs.  The inline capacity
+/// covers the subtask components' capture (this + a TriggerPayload copy, 64
+/// bytes); larger captures fall back to one heap allocation.
+using CompletionFn = InlineFunction<void(std::uint64_t), 64>;
+
+/// One schedulable unit of execution (a subjob).  Move-only: the completion
+/// delegate owns its capture.
 struct WorkItem {
   /// Caller-assigned identifier passed back on completion.
   std::uint64_t id = 0;
@@ -31,7 +37,7 @@ struct WorkItem {
   /// Remaining execution demand.
   Duration execution = Duration::zero();
   /// Invoked (in simulator context) at the instant the item finishes.
-  std::function<void(std::uint64_t id)> on_complete;
+  CompletionFn on_complete;
 };
 
 /// Aggregate counters exposed for tests and metrics.
@@ -54,9 +60,7 @@ class Processor {
   void submit(WorkItem item);
 
   /// Called every time the processor transitions from busy to idle.
-  void set_idle_callback(std::function<void()> fn) {
-    idle_callback_ = std::move(fn);
-  }
+  void set_idle_callback(EventFn fn) { idle_callback_ = std::move(fn); }
 
   [[nodiscard]] bool idle() const { return !running_.has_value(); }
   /// Ready items excluding the running one.
@@ -73,7 +77,10 @@ class Processor {
     EventHandle completion;  // pending completion event
   };
 
-  void start(WorkItem item);
+  /// Begin executing `item` now.  When `reuse` is the live handle of a
+  /// superseded completion event (the preemption path), it is re-timed in
+  /// place — no cancel, no slot churn; otherwise a fresh event is scheduled.
+  void start(WorkItem item, EventHandle reuse = EventHandle());
   void on_completion_event();
   /// Pull the most urgent ready item (FIFO within a priority level).
   std::optional<WorkItem> pop_ready();
@@ -84,7 +91,7 @@ class Processor {
   // Ready queue: kept sorted on pop; submission order preserved per level.
   std::deque<std::pair<std::uint64_t, WorkItem>> ready_;  // (seq, item)
   std::uint64_t next_seq_ = 0;
-  std::function<void()> idle_callback_;
+  EventFn idle_callback_;
   ProcessorStats stats_;
 };
 

@@ -1,43 +1,140 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace rtcm::sim {
 
-EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
-  assert(at >= now_ && "cannot schedule in the past");
-  assert(fn && "null event callback");
-  const std::uint64_t seq = next_seq_++;
-  queue_.emplace(Key{at.usec(), seq}, std::move(fn));
-  return EventHandle(at.usec(), seq);
+namespace {
+/// Heap arity.  4 children per node halves the tree depth of a binary heap
+/// (fewer cache lines per sift) at the cost of three extra comparisons per
+/// level — the classic d-ary trade that favours d=4 for 24-byte entries.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+std::uint32_t Simulator::acquire_slot(EventFn fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  return slot;
 }
 
-EventHandle Simulator::schedule_after(Duration delay,
-                                      std::function<void()> fn) {
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  // Stale handles and lazy heap entries both die on this bump.
+  ++s.gen;
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+void Simulator::heap_push(const HeapEntry& entry) {
+  // Hole-based sift-up: bubble a hole to the entry's position and store
+  // once, instead of swapping the entry level by level.  Events scheduled
+  // in nondecreasing time order (arrival streams) place with one compare.
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::heap_pop() {
+  assert(!heap_.empty());
+  const HeapEntry moved = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  // Hole-based sift-down of the relocated tail entry.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= heap_.size()) break;
+    const std::size_t last = std::min(first + kArity, heap_.size());
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moved)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = moved;
+}
+
+void Simulator::settle_front() {
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].gen != heap_.front().gen) {
+    heap_pop();
+  }
+}
+
+EventHandle Simulator::schedule_at(Time at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  assert(fn && "null event callback");
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  const std::uint32_t gen = slots_[slot].gen;
+  heap_push(HeapEntry{at.usec(), next_seq_++, slot, gen});
+  ++live_;
+  return EventHandle(slot, gen);
+}
+
+EventHandle Simulator::schedule_after(Duration delay, EventFn fn) {
   assert(!delay.is_negative());
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  return queue_.erase(Key{handle.time_usec_, handle.seq_}) > 0;
+  if (!handle.valid() || handle.slot_ >= slots_.size()) return false;
+  if (slots_[handle.slot_].gen != handle.gen_) return false;
+  assert(slots_[handle.slot_].fn && "live generation implies armed slot");
+  release_slot(handle.slot_);
+  return true;
+}
+
+bool Simulator::reschedule(EventHandle& handle, Time at) {
+  assert(at >= now_ && "cannot reschedule into the past");
+  if (!handle.valid() || handle.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[handle.slot_];
+  if (s.gen != handle.gen_) return false;
+  assert(s.fn && "live generation implies armed slot");
+  ++s.gen;  // the currently-queued heap entry is now dead
+  heap_push(HeapEntry{at.usec(), next_seq_++, handle.slot_, s.gen});
+  handle.gen_ = s.gen;
+  return true;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
-  now_ = Time(it->first.first);
-  // Move the callback out before erasing: the callback may schedule or
-  // cancel other events, mutating the queue underneath us.
-  std::function<void()> fn = std::move(it->second);
-  queue_.erase(it);
+  settle_front();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  heap_pop();
+  now_ = Time(top.time_usec);
+  // Move the callback out and release the slot before invoking: the
+  // callback may schedule, cancel, or reschedule other events (mutating the
+  // slab underneath us), and cancelling the currently-dispatching event
+  // must report false.
+  EventFn fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);
   ++executed_;
   fn();
   return true;
 }
 
 void Simulator::run_until(Time deadline) {
-  while (!queue_.empty() && Time(queue_.begin()->first.first) <= deadline) {
+  for (;;) {
+    settle_front();
+    if (heap_.empty() || Time(heap_.front().time_usec) > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/ids.h"
@@ -50,6 +52,20 @@ class Trace {
 
   void record(TraceRecord record) {
     if (enabled_) records_.push_back(std::move(record));
+  }
+
+  /// Record with a lazily-built detail string: `detail()` runs only when
+  /// tracing is enabled.  Hot paths (admission tests, subjob completions)
+  /// use this so disabled-trace runs — every bench and sweep cell — pay
+  /// nothing for string formatting.
+  template <typename DetailFn>
+    requires std::is_invocable_r_v<std::string, DetailFn>
+  void record_lazy(Time time, TraceKind kind, ProcessorId processor,
+                   TaskId task, JobId job, DetailFn&& detail) {
+    if (enabled_) {
+      records_.push_back(
+          {time, kind, processor, task, job, std::forward<DetailFn>(detail)()});
+    }
   }
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const {

@@ -113,7 +113,7 @@ std::vector<CellResult> run_sweep(const Grid& grid, const SweepParams& params,
     cell_shapes[i] = found;
   }
 
-  std::vector<std::function<void()>> jobs;
+  std::vector<ThreadPool::Job> jobs;
   jobs.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     jobs.push_back([&cells, &cell_shapes, &results, &params, i] {

@@ -35,8 +35,15 @@ class IdBase {
 /// Identifies one processor (node) in the distributed system.
 struct ProcessorId : detail::IdBase<ProcessorId> {
   using IdBase::IdBase;
+  // The to_string bodies use append instead of `"P" + std::to_string(...)`:
+  // the literal+rvalue operator+ chain trips GCC 12's -Wrestrict false
+  // positive when fully inlined at -O3 (PR105651), and the library builds
+  // with -Werror.
   [[nodiscard]] std::string to_string() const {
-    return valid() ? "P" + std::to_string(value()) : "P?";
+    if (!valid()) return "P?";
+    std::string out("P");
+    out += std::to_string(value());
+    return out;
   }
 };
 
@@ -44,7 +51,10 @@ struct ProcessorId : detail::IdBase<ProcessorId> {
 struct TaskId : detail::IdBase<TaskId> {
   using IdBase::IdBase;
   [[nodiscard]] std::string to_string() const {
-    return valid() ? "T" + std::to_string(value()) : "T?";
+    if (!valid()) return "T?";
+    std::string out("T");
+    out += std::to_string(value());
+    return out;
   }
 };
 
@@ -52,7 +62,10 @@ struct TaskId : detail::IdBase<TaskId> {
 struct JobId : detail::IdBase<JobId> {
   using IdBase::IdBase;
   [[nodiscard]] std::string to_string() const {
-    return valid() ? "J" + std::to_string(value()) : "J?";
+    if (!valid()) return "J?";
+    std::string out("J");
+    out += std::to_string(value());
+    return out;
   }
 };
 

@@ -13,29 +13,29 @@ namespace {
 struct Batch {
   struct WorkerQueue {
     std::mutex mutex;
-    std::deque<std::function<void()>> jobs;
+    std::deque<ThreadPool::Job> jobs;
   };
 
   explicit Batch(std::size_t workers) : queues(workers) {}
 
   /// Pop from the back of the worker's own deque (LIFO).
-  [[nodiscard]] std::function<void()> pop_local(std::size_t worker) {
+  [[nodiscard]] ThreadPool::Job pop_local(std::size_t worker) {
     WorkerQueue& q = queues[worker];
     std::lock_guard<std::mutex> lock(q.mutex);
     if (q.jobs.empty()) return nullptr;
-    std::function<void()> job = std::move(q.jobs.back());
+    ThreadPool::Job job = std::move(q.jobs.back());
     q.jobs.pop_back();
     return job;
   }
 
   /// Steal from the front of another worker's deque (FIFO), scanning
   /// victims round-robin starting after the thief.
-  [[nodiscard]] std::function<void()> steal(std::size_t thief) {
+  [[nodiscard]] ThreadPool::Job steal(std::size_t thief) {
     for (std::size_t i = 1; i < queues.size(); ++i) {
       WorkerQueue& q = queues[(thief + i) % queues.size()];
       std::lock_guard<std::mutex> lock(q.mutex);
       if (q.jobs.empty()) continue;
-      std::function<void()> job = std::move(q.jobs.front());
+      ThreadPool::Job job = std::move(q.jobs.front());
       q.jobs.pop_front();
       return job;
     }
@@ -46,7 +46,7 @@ struct Batch {
   /// own deque and every victim's deque empty is done.
   void worker_loop(std::size_t worker) {
     while (true) {
-      std::function<void()> job = pop_local(worker);
+      ThreadPool::Job job = pop_local(worker);
       if (!job) job = steal(worker);
       if (!job) return;
       job();
@@ -65,7 +65,7 @@ ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
   }
 }
 
-void ThreadPool::run(std::vector<std::function<void()>> jobs) {
+void ThreadPool::run(std::vector<Job> jobs) {
   if (threads_ == 1) {
     for (auto& job : jobs) job();
     return;

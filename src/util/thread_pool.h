@@ -2,8 +2,9 @@
 //
 // Each worker owns a deque of pending jobs: it pops from the back of its
 // own deque (LIFO, cache-friendly) and steals from the front of a victim's
-// deque (FIFO, oldest work first) when its own runs dry.  Jobs are plain
-// std::function<void()> closures; determinism is the caller's problem —
+// deque (FIFO, oldest work first) when its own runs dry.  Jobs are
+// move-only InlineFunction closures (no per-job heap allocation for small
+// captures); determinism is the caller's problem —
 // the sweep engine guarantees it by giving every job its own Rng and
 // simulator and by indexing results, so the interleaving chosen by the
 // stealer never shows up in the output.
@@ -17,13 +18,18 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
+
+#include "util/inline_fn.h"
 
 namespace rtcm {
 
 class ThreadPool {
  public:
+  /// One unit of batch work.  The capacity fits the sweep driver's per-cell
+  /// closure (four container references + an index) inline.
+  using Job = InlineFunction<void(), 48>;
+
   /// `threads` == 0 selects std::thread::hardware_concurrency() (min 1).
   explicit ThreadPool(std::size_t threads = 0);
 
@@ -38,7 +44,7 @@ class ThreadPool {
   /// order — no worker threads are spawned, which keeps single-threaded
   /// runs trivially debuggable.  Reentrant calls (a job calling run()) are
   /// not supported.
-  void run(std::vector<std::function<void()>> jobs);
+  void run(std::vector<Job> jobs);
 
  private:
   std::size_t threads_;

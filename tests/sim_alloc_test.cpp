@@ -1,0 +1,193 @@
+// Allocation-count tests for the simulation kernel's event path.
+//
+// The kernel's contract is that scheduling, cancelling, rescheduling and
+// dispatching events performs ZERO heap allocations once the slab and heap
+// vectors are warm, for any capture within EventFn's inline capacity.  This
+// binary overrides global operator new/delete with counting pass-throughs
+// and asserts exact deltas around the hot paths — if someone reintroduces a
+// std::function (16-byte inline capacity on libstdc++) or an allocating
+// container on the event path, these tests fail with a nonzero delta.
+//
+// The overrides are binary-global, which is why these tests live in their
+// own test executable instead of sim_test.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "sim/processor.h"
+#include "sim/simulator.h"
+#include "util/inline_fn.h"
+#include "util/time.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rtcm::sim {
+namespace {
+
+// The middleware's largest hot-path captures must stay inline: the
+// federated channel ships (pointer + 80-byte event copy) per destination
+// and the subtask components capture (this + 56-byte trigger payload).
+static_assert(EventFn::fits_inline<std::array<std::byte, 88>>);
+static_assert(CompletionFn::fits_inline<std::array<std::byte, 64>>);
+
+/// Schedule-and-drain enough events to grow the slab, heap, and free-list
+/// vectors past what the measured section needs.
+void warm(Simulator& sim, int slots) {
+  for (int i = 0; i < slots; ++i) {
+    sim.schedule_at(sim.now() + Duration(1 + i), [] {});
+  }
+  sim.run_all();
+}
+
+TEST(SimAllocTest, InlineCaptureScheduleAndDispatchAllocationFree) {
+  Simulator sim;
+  warm(sim, 4096);
+  std::uint64_t sink = 0;
+  struct Payload {
+    std::uint64_t a, b, c;
+  } payload{1, 2, 3};  // 24-byte capture — typical core-layer size
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 2048; ++i) {
+    sim.schedule_at(sim.now() + Duration(1 + i),
+                    [&sink, payload] { sink += payload.a + payload.c; });
+  }
+  sim.run_all();
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(sink, 2048u * 4u);
+}
+
+TEST(SimAllocTest, CapacityEdgeCaptureStaysInline) {
+  Simulator sim;
+  warm(sim, 256);
+  std::uint64_t sink = 0;
+  // Exactly EventFn::kCapacity bytes of capture.
+  struct Edge {
+    std::uint64_t* sink;
+    std::byte pad[EventFn::kCapacity - sizeof(std::uint64_t*)];
+  } edge{&sink, {}};
+  static_assert(sizeof(Edge) == EventFn::kCapacity);
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 128; ++i) {
+    sim.schedule_at(sim.now() + Duration(1 + i), [edge] { ++*edge.sink; });
+  }
+  sim.run_all();
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(sink, 128u);
+}
+
+TEST(SimAllocTest, OversizedCaptureFallsBackToOneHeapAllocation) {
+  Simulator sim;
+  warm(sim, 256);
+  std::uint64_t sink = 0;
+  struct Oversized {
+    std::uint64_t* sink;
+    std::byte pad[EventFn::kCapacity];  // one pointer past the capacity
+  } big{&sink, {}};
+
+  const std::uint64_t before = allocation_count();
+  sim.schedule_at(sim.now() + Duration(1), [big] { ++*big.sink; });
+  EXPECT_EQ(allocation_count() - before, 1u);
+  sim.run_all();
+  EXPECT_EQ(sink, 1u);
+  EXPECT_EQ(allocation_count() - before, 1u);  // dispatch adds nothing
+}
+
+TEST(SimAllocTest, CancelAndLazyDrainAllocationFree) {
+  Simulator sim;
+  warm(sim, 2048);
+  std::uint64_t sink = 0;
+
+  std::array<EventHandle, 1024> handles;
+  const std::uint64_t before = allocation_count();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    handles[i] = sim.schedule_at(
+        sim.now() + Duration(1 + static_cast<std::int64_t>(i)),
+        [&sink] { ++sink; });
+  }
+  std::size_t cancelled = 0;
+  for (const EventHandle h : handles) {
+    if (sim.cancel(h)) ++cancelled;
+  }
+  sim.run_all();  // drains the dead heap entries
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(cancelled, handles.size());
+  EXPECT_EQ(sink, 0u);
+}
+
+TEST(SimAllocTest, RescheduleChurnAllocationFree) {
+  Simulator sim;
+  // Warm past the heap growth a reschedule-per-iteration run needs: each
+  // reschedule leaves a dead entry behind until the queue drains.
+  warm(sim, 4096);
+  std::uint64_t sink = 0;
+
+  EventHandle h =
+      sim.schedule_at(sim.now() + Duration(10000), [&sink] { ++sink; });
+  const std::uint64_t before = allocation_count();
+  int rescheduled = 0;
+  for (int i = 0; i < 2048; ++i) {
+    if (sim.reschedule(h, sim.now() + Duration(10000 + i))) ++rescheduled;
+  }
+  sim.run_all();
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(rescheduled, 2048);
+  EXPECT_EQ(sink, 1u);
+}
+
+TEST(SimAllocTest, ProcessorCompletionPathAllocationFree) {
+  Simulator sim;
+  Processor cpu(sim, ProcessorId(0));
+  std::uint64_t sink = 0;
+  // Warm: the same preempt/resume wave the measured section runs, so the
+  // ready deque, slab, and heap have their steady-state footprints.
+  auto wave = [&](std::int64_t base) {
+    sim.schedule_at(Time(base), [&cpu, &sink] {
+      cpu.submit({1, Priority(5), Duration(40),
+                  [&sink](std::uint64_t id) { sink += id; }});
+    });
+    sim.schedule_at(Time(base + 10), [&cpu, &sink] {
+      cpu.submit({2, Priority(1), Duration(20),
+                  [&sink](std::uint64_t id) { sink += id; }});
+    });
+  };
+  for (int w = 0; w < 64; ++w) wave(w * 100);
+  sim.run_all();
+
+  const std::uint64_t before = allocation_count();
+  for (int w = 64; w < 128; ++w) wave(w * 100);
+  sim.run_all();
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(sink, 3u * 128u);  // ids 1 + 2 completed per wave
+}
+
+}  // namespace
+}  // namespace rtcm::sim

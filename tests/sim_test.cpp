@@ -97,6 +97,104 @@ TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(sim.step());
 }
 
+TEST(SimulatorTest, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  int runs = 0;
+  const EventHandle h = sim.schedule_at(Time(10), [&] { ++runs; });
+  sim.run_all();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(sim.cancel(h));  // the event already ran
+}
+
+TEST(SimulatorTest, StaleHandleAfterSlotReuseDoesNotCancelNewEvent) {
+  Simulator sim;
+  bool a_ran = false;
+  bool b_ran = false;
+  // Cancel A, freeing its slab slot; B recycles the slot (LIFO free list).
+  // A's stale handle carries the old generation and must not touch B.
+  const EventHandle a = sim.schedule_at(Time(10), [&] { a_ran = true; });
+  EXPECT_TRUE(sim.cancel(a));
+  const EventHandle b = sim.schedule_at(Time(20), [&] { b_ran = true; });
+  EXPECT_FALSE(sim.cancel(a));  // stale: generation moved on
+  sim.run_all();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(sim.cancel(b));  // already ran
+}
+
+TEST(SimulatorTest, CancelCurrentlyDispatchingEventReturnsFalse) {
+  Simulator sim;
+  EventHandle h;
+  bool checked = false;
+  h = sim.schedule_at(Time(10), [&] {
+    checked = true;
+    EXPECT_FALSE(sim.cancel(h));  // we are already running
+  });
+  sim.run_all();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, PendingCountsLiveEventsOnly) {
+  Simulator sim;
+  const EventHandle a = sim.schedule_at(Time(10), [] {});
+  sim.schedule_at(Time(20), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, RescheduleMovesEventKeepingCallback) {
+  Simulator sim;
+  Time fired;
+  EventHandle h = sim.schedule_at(Time(100), [&] { fired = sim.now(); });
+  EXPECT_TRUE(sim.reschedule(h, Time(250)));
+  sim.run_all();
+  EXPECT_EQ(fired, Time(250));
+  EXPECT_EQ(sim.executed(), 1u);  // the original instant never fired
+}
+
+TEST(SimulatorTest, RescheduleDeadHandleReturnsFalse) {
+  Simulator sim;
+  EventHandle inert;
+  EXPECT_FALSE(sim.reschedule(inert, Time(10)));
+  EventHandle h = sim.schedule_at(Time(10), [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.reschedule(h, Time(20)));  // cancelled
+  EventHandle ran = sim.schedule_at(Time(30), [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.reschedule(ran, Time(40)));  // already ran
+}
+
+TEST(SimulatorTest, RescheduleOrdersAsFreshlyScheduled) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Time(50), [&] { order.push_back(1); });
+  EventHandle h = sim.schedule_at(Time(10), [&] { order.push_back(2); });
+  // Moving the earlier event onto t=50 puts it AFTER the event already
+  // there: rescheduling consumes a fresh sequence number, exactly as the
+  // old cancel + schedule_at pair did.
+  EXPECT_TRUE(sim.reschedule(h, Time(50)));
+  sim.schedule_at(Time(50), [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RescheduledHandleCancelsAtNewInstant) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle h = sim.schedule_at(Time(10), [&] { ran = true; });
+  EXPECT_TRUE(sim.reschedule(h, Time(20)));
+  EXPECT_TRUE(sim.cancel(h));  // the revalidated handle controls the event
+  EXPECT_FALSE(sim.cancel(h));
+  sim.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
 // --- Processor ---------------------------------------------------------------
 
 TEST(ProcessorTest, RunsSingleItem) {

@@ -294,7 +294,7 @@ TEST(SweepThreadPool, RunsEveryJobExactlyOnce) {
   EXPECT_EQ(pool.thread_count(), 4u);
   constexpr int kJobs = 300;
   std::vector<std::atomic<int>> hits(kJobs);
-  std::vector<std::function<void()>> jobs;
+  std::vector<ThreadPool::Job> jobs;
   jobs.reserve(kJobs);
   for (int i = 0; i < kJobs; ++i) {
     jobs.push_back([&hits, i] { hits[i].fetch_add(1); });
@@ -308,7 +308,7 @@ TEST(SweepThreadPool, RunsEveryJobExactlyOnce) {
 TEST(SweepThreadPool, SingleThreadRunsInlineInOrder) {
   ThreadPool pool(1);
   std::vector<int> order;
-  std::vector<std::function<void()>> jobs;
+  std::vector<ThreadPool::Job> jobs;
   for (int i = 0; i < 5; ++i) {
     jobs.push_back([&order, i] { order.push_back(i); });
   }
@@ -321,7 +321,7 @@ TEST(SweepThreadPool, IdleWorkersStealQueuedWork) {
   // stolen and completed by the other workers for run() to return quickly.
   ThreadPool pool(3);
   std::atomic<int> done{0};
-  std::vector<std::function<void()>> jobs;
+  std::vector<ThreadPool::Job> jobs;
   jobs.push_back([&done] {
     // Busy-wait until every other job has been run by someone else.
     while (done.load() < 30) {
@@ -339,7 +339,7 @@ TEST(SweepThreadPool, ZeroSelectsHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.thread_count(), 1u);
   std::atomic<int> count{0};
-  std::vector<std::function<void()>> jobs;
+  std::vector<ThreadPool::Job> jobs;
   for (int i = 0; i < 10; ++i) {
     jobs.push_back([&count] { count.fetch_add(1); });
   }
