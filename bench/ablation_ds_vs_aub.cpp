@@ -44,13 +44,13 @@ const Variant kVariants[] = {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   auto options = bench::BenchOptions::from_flags(flags, 8, 60);
-  options.params.configure = [](const sweep::Cell& cell,
-                                core::SystemConfig& config) {
+  options.params.specialize = [](const sweep::Cell& cell,
+                                 scenario::ScenarioSpec& spec) {
     for (const Variant& v : kVariants) {
       if (cell.variant == v.name) {
-        config.analysis = v.analysis;
-        config.ds_server.budget = v.budget;
-        config.ds_server.period = v.period;
+        spec.config.analysis = v.analysis;
+        spec.config.ds_server.budget = v.budget;
+        spec.config.ds_server.period = v.period;
         return;
       }
     }

@@ -20,10 +20,10 @@ using namespace rtcm;
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   auto options = bench::BenchOptions::from_flags(flags, 8, 60);
-  options.params.configure = [](const sweep::Cell& cell,
-                                core::SystemConfig& config) {
-    config.lb_policy = cell.variant;
-    config.lb_seed = cell.seed;
+  options.params.specialize = [](const sweep::Cell& cell,
+                                 scenario::ScenarioSpec& spec) {
+    spec.config.lb_policy = cell.variant;
+    spec.config.lb_seed = cell.seed;
   };
 
   std::printf(

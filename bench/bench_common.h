@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "scenario/library.h"
 #include "sweep/report.h"
 #include "sweep/sweep.h"
 #include "util/flags.h"
@@ -21,6 +23,10 @@ namespace rtcm::bench {
 /// --json_out=PATH (empty = no report file).
 struct BenchOptions {
   int seeds = 10;
+  /// Override for every grid shape's aperiodic interarrival factor; only
+  /// set when --aperiodic_factor was passed, so grids (and registry
+  /// entries) keep their shapes' own factors by default.
+  std::optional<double> aperiodic_factor;
   sweep::SweepParams params;
   sweep::SweepOptions sweep;
   std::string json_out;
@@ -31,12 +37,40 @@ struct BenchOptions {
     BenchOptions options;
     options.seeds =
         static_cast<int>(flags.get_int("seeds", default_seeds));
-    options.params.horizon =
+    options.params.base.horizon =
         Duration::seconds(flags.get_int("horizon_s", default_horizon_s));
-    options.params.aperiodic_interarrival_factor =
-        flags.get_double("aperiodic_factor", 1.0);
-    options.params.comm_latency = Duration::microseconds(flags.get_int(
-        "comm_us", sim::Network::kPaperOneWayDelay.usec()));
+    if (flags.has("aperiodic_factor")) {
+      options.aperiodic_factor = flags.get_double("aperiodic_factor", 1.0);
+    }
+    options.params.base.config.comm_latency =
+        Duration::microseconds(flags.get_int(
+            "comm_us", sim::Network::kPaperOneWayDelay.usec()));
+    options.sweep.threads =
+        static_cast<std::size_t>(flags.get_int("threads", 0));
+    options.json_out = flags.get_string("json_out", "");
+    return options;
+  }
+
+  /// Merge command-line overrides into a scenario-library entry: the entry
+  /// keeps its own defaults (horizon, arrival model, specialize hook) and
+  /// flags win only when explicitly passed.
+  [[nodiscard]] static BenchOptions for_named_grid(
+      const Flags& flags, const scenario::NamedGrid& entry) {
+    BenchOptions options;
+    options.params = entry.params;
+    options.seeds =
+        static_cast<int>(flags.get_int("seeds", entry.grid.seeds));
+    if (flags.has("horizon_s")) {
+      options.params.base.horizon =
+          Duration::seconds(flags.get_int("horizon_s", 100));
+    }
+    if (flags.has("comm_us")) {
+      options.params.base.config.comm_latency = Duration::microseconds(
+          flags.get_int("comm_us", sim::Network::kPaperOneWayDelay.usec()));
+    }
+    if (flags.has("aperiodic_factor")) {
+      options.aperiodic_factor = flags.get_double("aperiodic_factor", 1.0);
+    }
     options.sweep.threads =
         static_cast<std::size_t>(flags.get_int("threads", 0));
     options.json_out = flags.get_string("json_out", "");
@@ -52,6 +86,11 @@ inline sweep::Report run_grid(const std::string& name,
                               const BenchOptions& options) {
   sweep::Grid sized_grid = grid;
   sized_grid.seeds = options.seeds;
+  if (options.aperiodic_factor.has_value()) {
+    for (auto& shape : sized_grid.shapes) {
+      shape.shape.aperiodic_interarrival_factor = *options.aperiodic_factor;
+    }
+  }
 
   sweep::Report report;
   report.name = name;
@@ -59,13 +98,14 @@ inline sweep::Report run_grid(const std::string& name,
   report.params.set("seeds", options.seeds);
   report.params.set(
       "horizon_s",
-      static_cast<std::int64_t>(options.params.horizon.usec() / 1000000));
+      static_cast<std::int64_t>(options.params.base.horizon.usec() /
+                                1000000));
   report.params.set(
       "drain_s",
-      static_cast<std::int64_t>(options.params.drain.usec() / 1000000));
-  report.params.set("comm_us", options.params.comm_latency.usec());
+      static_cast<std::int64_t>(options.params.base.drain.usec() / 1000000));
+  report.params.set("comm_us", options.params.base.config.comm_latency.usec());
   report.params.set("aperiodic_factor",
-                    options.params.aperiodic_interarrival_factor);
+                    options.aperiodic_factor.value_or(1.0));
   report.params.set("threads",
                     static_cast<std::int64_t>(options.sweep.threads));
   report.cells = sweep::run_sweep(sized_grid, options.params, options.sweep);

@@ -29,14 +29,15 @@ int main(int argc, char** argv) {
       "deadlines U[250ms,10s], per-processor synthetic utilization 0.5,\n"
       "horizon %llds + drain, one-way comm latency %lldus\n\n",
       options.seeds,
-      static_cast<long long>(options.params.horizon.usec() / 1000000),
-      static_cast<long long>(options.params.comm_latency.usec()));
+      static_cast<long long>(options.params.base.horizon.usec() / 1000000),
+      static_cast<long long>(
+          options.params.base.config.comm_latency.usec()));
 
-  sweep::Grid grid;
-  grid.combos = core::valid_combinations();
-  grid.shapes = {{"random", workload::random_workload_shape()}};
+  // The grid itself comes from the scenario registry; only the run
+  // parameters (seeds, horizon, threads) are bench-local.
+  const scenario::NamedGrid entry = scenario::find_grid("fig5").value();
   const sweep::Report report =
-      bench::run_grid("fig5_accept_ratio", grid, options);
+      bench::run_grid("fig5_accept_ratio", entry.grid, options);
   const auto aggregates = report.aggregates();
 
   std::printf("%-7s %-7s %-7s %-44s %s\n", "combo", "mean", "stddev", "",

@@ -27,13 +27,11 @@ int main(int argc, char** argv) {
       "%d task sets, 3 loaded processors (0.7 each) + 2 replica processors,\n"
       "1-3 subtasks/task, horizon %llds\n\n",
       options.seeds,
-      static_cast<long long>(options.params.horizon.usec() / 1000000));
+      static_cast<long long>(options.params.base.horizon.usec() / 1000000));
 
-  sweep::Grid grid;
-  grid.combos = core::valid_combinations();
-  grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
+  const scenario::NamedGrid entry = scenario::find_grid("fig6").value();
   const sweep::Report report =
-      bench::run_grid("fig6_imbalanced", grid, options);
+      bench::run_grid("fig6_imbalanced", entry.grid, options);
 
   auto mean_of = [&](const std::string& label) {
     return report.mean_accept_ratio(label);

@@ -94,9 +94,9 @@ int main(int argc, char** argv) {
   grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
   grid.variants = {"static", "lb-swap", "drain", "storm"};
 
-  const Duration horizon = options.params.horizon;
-  options.params.reconfig_script = [horizon](const sweep::Cell& cell) {
-    return script_for(cell.variant, horizon);
+  options.params.specialize = [](const sweep::Cell& cell,
+                                 scenario::ScenarioSpec& spec) {
+    spec.reconfig = script_for(cell.variant, spec.horizon);
   };
 
   sweep::Report report = bench::run_grid("reconfig", grid, options);

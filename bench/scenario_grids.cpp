@@ -1,0 +1,75 @@
+// Run any named grid from the scenario registry (scenario/library.h).
+//
+// This is the "new workloads are one registry entry" bench: it has no
+// workload knowledge of its own — it looks an entry up by name, merges
+// command-line overrides into the entry's own defaults, runs the grid
+// through the parallel sweep engine and emits the standard schema-v1
+// report.  scripts/run_benches.sh invokes it once per library entry that
+// has no dedicated figure bench.
+//
+// Flags: --grid=NAME (required; --list prints the registry)
+//        --seeds=N --horizon_s=N --aperiodic_factor=F --comm_us=N
+//        --threads=N --json_out=PATH
+#include <cstdio>
+
+#include "bench_common.h"
+#include "scenario/library.h"
+
+using namespace rtcm;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+
+  if (flags.get_bool("list", false)) {
+    std::printf("scenario grids:\n");
+    for (const auto& entry : scenario::library()) {
+      std::printf("  %-18s %s\n", entry.name.c_str(), entry.title.c_str());
+    }
+    return 0;
+  }
+
+  const std::string name = flags.get_string("grid", "");
+  if (name.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_scenario_grids --grid=NAME [--list]\n");
+    return 1;
+  }
+  auto entry = scenario::find_grid(name);
+  if (!entry.is_ok()) {
+    std::fprintf(stderr, "%s\n", entry.message().c_str());
+    return 1;
+  }
+
+  const auto options = bench::BenchOptions::for_named_grid(flags,
+                                                           entry.value());
+  std::printf("Scenario grid '%s': %s\n%d seeds per cell, horizon %llds\n\n",
+              entry.value().name.c_str(), entry.value().title.c_str(),
+              options.seeds,
+              static_cast<long long>(options.params.base.horizon.usec() /
+                                     1000000));
+
+  const sweep::Report report = bench::run_grid(
+      "scenario_" + entry.value().name, entry.value().grid, options);
+
+  std::printf("%-8s %-20s %-12s %12s %8s %9s %9s\n", "combo", "shape",
+              "variant", "accept-ratio", "misses", "applied", "rejected");
+  for (const auto& agg : report.aggregates()) {
+    std::uint64_t applied = 0;
+    std::uint64_t rejected = 0;
+    for (const auto& cell : report.cells) {
+      if (cell.cell.combo == agg.combo && cell.cell.shape == agg.shape &&
+          cell.cell.variant == agg.variant) {
+        applied += cell.reconfig_applied;
+        rejected += cell.reconfig_rejected;
+      }
+    }
+    std::printf("%-8s %-20s %-12s %7.4f %s %8.0f %9llu %9llu\n",
+                agg.combo.c_str(), agg.shape.c_str(), agg.variant.c_str(),
+                agg.accept_ratio.mean(),
+                bench::bar(agg.accept_ratio.mean(), 16).c_str(),
+                agg.deadline_misses.sum(),
+                static_cast<unsigned long long>(applied),
+                static_cast<unsigned long long>(rejected));
+  }
+  return bench::finish(report, options);
+}

@@ -4,7 +4,8 @@
 // loss-tolerant (skipping a frame is fine — criterion C1 satisfied) and a
 // conveyor control task that is not.  A burst of aperiodic rework orders
 // overloads two stations; duplicates exist on a spare station (criterion
-// C3).  The example contrasts:
+// C3).  The whole line is one declarative scenario spec; the example runs
+// it twice, swapping only the strategy combination:
 //
 //   T_N_N  — everything per task, no resetting, no balancing: the rework
 //            burst is mostly rejected and tasks unlucky at first arrival
@@ -14,90 +15,50 @@
 //            station and far more work is accepted.
 #include <cstdio>
 
-#include <cstdlib>
-
-#include "core/runtime.h"
-#include "workload/arrival.h"
+#include "scenario/builder.h"
 
 using namespace rtcm;
 
 namespace {
 
-sched::TaskSet make_line() {
-  sched::TaskSet tasks;
-  auto add = [&tasks](sched::TaskSpec spec) {
-    const Status s = tasks.add(std::move(spec));
-    if (!s.is_ok()) {
-      std::fprintf(stderr, "bad task: %s\n", s.message().c_str());
-      std::abort();
-    }
-  };
-
+scenario::ScenarioBuilder make_line() {
   // Vision quality check: camera (P0) -> classifier (P1); loss tolerant.
-  sched::TaskSpec vision;
-  vision.id = TaskId(0);
-  vision.name = "vision-qc";
-  vision.kind = sched::TaskKind::kPeriodic;
-  vision.deadline = Duration::milliseconds(300);
-  vision.period = Duration::milliseconds(300);
-  vision.subtasks = {
-      {Duration::milliseconds(45), ProcessorId(0), {ProcessorId(2)}},
-      {Duration::milliseconds(60), ProcessorId(1), {ProcessorId(2)}},
-  };
-  add(vision);
-
-  // Conveyor speed control; small and critical.
-  sched::TaskSpec conveyor;
-  conveyor.id = TaskId(1);
-  conveyor.name = "conveyor-control";
-  conveyor.kind = sched::TaskKind::kPeriodic;
-  conveyor.deadline = Duration::milliseconds(200);
-  conveyor.period = Duration::milliseconds(200);
-  conveyor.subtasks = {
-      {Duration::milliseconds(10), ProcessorId(1), {ProcessorId(0)}},
-  };
-  add(conveyor);
-
-  // Aperiodic rework orders: station P0 does the rework plan, P1 applies
-  // the fix; bursts arrive when a defect streak is detected.
-  sched::TaskSpec rework;
-  rework.id = TaskId(2);
-  rework.name = "rework-order";
-  rework.kind = sched::TaskKind::kAperiodic;
-  rework.deadline = Duration::milliseconds(600);
-  rework.mean_interarrival = Duration::milliseconds(450);
-  rework.subtasks = {
-      {Duration::milliseconds(50), ProcessorId(0), {ProcessorId(2)}},
-      {Duration::milliseconds(35), ProcessorId(1), {ProcessorId(2)}},
-  };
-  add(rework);
-
-  return tasks;
+  // Conveyor speed control: small and critical.  Aperiodic rework orders:
+  // station P0 does the rework plan, P1 applies the fix.  The spare station
+  // P2 hosts every duplicate.
+  return scenario::ScenarioBuilder("assembly-line")
+      .task(scenario::TaskBuilder::periodic(0, "vision-qc",
+                                            Duration::milliseconds(300))
+                .stage(Duration::milliseconds(45), 0, {2})
+                .stage(Duration::milliseconds(60), 1, {2}))
+      .task(scenario::TaskBuilder::periodic(1, "conveyor-control",
+                                            Duration::milliseconds(200))
+                .stage(Duration::milliseconds(10), 1, {0}))
+      .task(scenario::TaskBuilder::aperiodic(2, "rework-order",
+                                             Duration::milliseconds(600))
+                .mean_interarrival(Duration::milliseconds(450))
+                .stage(Duration::milliseconds(50), 0, {2})
+                .stage(Duration::milliseconds(35), 1, {2}))
+      .seed(99)
+      .horizon(Duration::seconds(60))
+      .drain(Duration::seconds(10));
 }
 
 void run_combo(const char* label) {
-  core::SystemConfig config;
-  config.strategies = core::StrategyCombination::parse(label).value();
-  core::SystemRuntime runtime(config, make_line());
-  if (Status s = runtime.assemble(); !s.is_ok()) {
-    std::fprintf(stderr, "assemble failed: %s\n", s.message().c_str());
+  auto result = make_line().strategies(label).run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.message().c_str());
     return;
   }
-
-  Rng rng(99);
-  const Time horizon(Duration::seconds(60).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, rng));
-  runtime.run_until(horizon + Duration::seconds(10));
+  const scenario::ScenarioResult& outcome = result.value();
 
   std::printf("--- %s ---\n", label);
-  const auto& metrics = runtime.metrics();
-  std::printf("accepted utilization ratio: %.3f\n",
-              metrics.accepted_utilization_ratio());
+  const auto& metrics = outcome.metrics();
+  std::printf("accepted utilization ratio: %.3f\n", outcome.accept_ratio);
   for (const auto& [task, tm] : metrics.per_task()) {
     std::printf(
         "  %-16s arrived %4llu  ran %4llu  skipped %4llu  misses %llu\n",
-        runtime.tasks().find(task)->name.c_str(),
+        outcome.runtime->tasks().find(task)->name.c_str(),
         static_cast<unsigned long long>(tm.arrivals),
         static_cast<unsigned long long>(tm.completions),
         static_cast<unsigned long long>(tm.rejections),
@@ -105,7 +66,7 @@ void run_combo(const char* label) {
   }
   std::printf("  idle resets applied: %llu, spare-station utilization: %s\n\n",
               static_cast<unsigned long long>(metrics.subjobs_reset()),
-              runtime.admission_control()
+              outcome.runtime->admission_control()
                       ->state()
                       .ledger()
                       .total(ProcessorId(2)) > 0.0

@@ -2,8 +2,8 @@
 //
 // Feeds a workload specification and the four developer questions through
 // the configuration engine, prints the selected strategies and the
-// generated XML deployment plan, then launches the system through the
-// DAnCE pipeline and runs it briefly.
+// generated XML deployment plan, then runs the selected configuration
+// briefly through the Scenario API.
 //
 // Usage:
 //   config_explorer                                  # built-in demo spec
@@ -17,8 +17,8 @@
 
 #include "config/engine.h"
 #include "config/questionnaire.h"
+#include "scenario/builder.h"
 #include "util/flags.h"
-#include "workload/arrival.h"
 
 using namespace rtcm;
 
@@ -114,19 +114,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Launch through DAnCE and run for a few simulated seconds.
-  core::SystemConfig base;
-  auto runtime = config::ConfigurationEngine::launch(out.value(), base);
-  if (!runtime.is_ok()) {
-    std::fprintf(stderr, "launch failed: %s\n", runtime.message().c_str());
+  // Run the selected configuration for a few simulated seconds: the engine
+  // output (tasks + strategies) becomes one declarative scenario spec.
+  auto result = scenario::ScenarioBuilder("config-explorer")
+                    .tasks(out.value().tasks)
+                    .strategies(out.value().selection.strategies)
+                    .seed(1)
+                    .horizon(Duration::seconds(20))
+                    .drain(Duration::seconds(5))
+                    .run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.message().c_str());
     return 1;
   }
-  core::SystemRuntime& rt = *runtime.value();
-  Rng rng(1);
-  const Time horizon(Duration::seconds(20).usec());
-  rt.inject_arrivals(workload::generate_arrivals(rt.tasks(), horizon, rng));
-  rt.run_until(horizon + Duration::seconds(5));
   std::printf("\nafter a %llds run:\n%s", 20LL,
-              rt.metrics().render().c_str());
+              result.value().metrics().render().c_str());
   return 0;
 }

@@ -1,21 +1,22 @@
-// Runtime reconfiguration walkthrough: the configuration engine emits a
-// mode-change plan sequence ("at t=5s switch strategies; at t=12s drain
-// node 2; at t=20s bring it back"), the DAnCE pipeline launches the initial
-// plan, and the ReconfigurationManager applies each later plan live —
-// migrating admitted tasks off the drained node without a single deadline
-// miss.  Doubles as an end-to-end smoke test in CI.
+// Runtime reconfiguration walkthrough, Scenario-API edition: the scenario
+// spec declares the workload, the initial strategies AND the mode-change
+// script ("at t=5s switch strategies; at t=12s drain node 2; at t=20s bring
+// it back").  The configuration engine validates the same schedule up front
+// (its refuse-early guarantee), then Scenario::run() applies each step live
+// through a ReconfigurationManager — migrating admitted tasks off the
+// drained node without a single deadline miss.  Doubles as an end-to-end
+// smoke test in CI.
 #include <cstdio>
 
 #include "config/engine.h"
-#include "reconfig/manager.h"
-#include "util/rng.h"
-#include "workload/arrival.h"
+#include "scenario/builder.h"
 
 using namespace rtcm;
 
-int main() {
-  config::EngineInput input;
-  input.workload_spec = R"(# plant floor with a maintenance window on P2
+namespace {
+
+constexpr const char* kFloorSpec =
+    R"(# plant floor with a maintenance window on P2
 task conveyor-ctl periodic deadline=400ms period=400ms
   subtask exec=25ms primary=P0 replicas=P2
   subtask exec=15ms primary=P1
@@ -24,8 +25,8 @@ task fault-alarm aperiodic deadline=300ms mean_interarrival=1500ms
 task batch-report periodic deadline=4s period=4s
   subtask exec=120ms primary=P2 replicas=P0
 )";
-  input.explicit_strategies = core::StrategyCombination::parse("T_N_N").value();
 
+std::vector<config::ModeChange> make_schedule() {
   config::ModeChange go_per_job;
   go_per_job.at = Time(Duration::seconds(5).usec());
   go_per_job.label = "switch-to-J_N_J";
@@ -38,8 +39,22 @@ task batch-report periodic deadline=4s period=4s
   restore.at = Time(Duration::seconds(20).usec());
   restore.label = "restore-P2";
   restore.undrain = {ProcessorId(2)};
-  input.mode_changes = {go_per_job, maintenance, restore};
+  return {go_per_job, maintenance, restore};
+}
 
+}  // namespace
+
+int main() {
+  const std::vector<config::ModeChange> schedule = make_schedule();
+
+  // Ask the configuration engine to validate the whole plan sequence first:
+  // a bad step (invalid combination, drain leaving a stage hostless) is
+  // refused here, before anything runs.
+  config::EngineInput input;
+  input.workload_spec = kFloorSpec;
+  input.explicit_strategies =
+      core::StrategyCombination::parse("T_N_N").value();
+  input.mode_changes = schedule;
   const auto output = config::ConfigurationEngine().configure(input);
   if (!output.is_ok()) {
     std::fprintf(stderr, "configure failed: %s\n", output.message().c_str());
@@ -48,47 +63,39 @@ task batch-report periodic deadline=4s period=4s
   std::printf("plan sequence: initial + %zu mode changes\n",
               output.value().schedule.size());
 
-  core::SystemConfig base;
-  base.comm_latency = Duration::microseconds(100);
-  auto launched = config::ConfigurationEngine::launch(output.value(), base);
-  if (!launched.is_ok()) {
-    std::fprintf(stderr, "launch failed: %s\n", launched.message().c_str());
+  // The runnable form: one spec carrying the same workload, strategies and
+  // script.
+  auto result = scenario::ScenarioBuilder("mode-change")
+                    .workload_spec_text(kFloorSpec)
+                    .strategies("T_N_N")
+                    .comm_latency(Duration::microseconds(100))
+                    .reconfig(schedule)
+                    .seed(2026)
+                    .horizon(Duration::seconds(30))
+                    .drain(Duration::seconds(8))
+                    .run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.message().c_str());
     return 1;
   }
-  core::SystemRuntime& runtime = *launched.value();
+  const scenario::ScenarioResult& outcome = result.value();
 
-  reconfig::ReconfigurationManager manager(runtime);
-  for (const config::TimedPlan& step : output.value().schedule) {
-    if (Status s = manager.schedule_plan(step.at, step.plan, step.label);
-        !s.is_ok()) {
-      std::fprintf(stderr, "schedule failed: %s\n", s.message().c_str());
-      return 1;
-    }
-  }
-
-  Rng arrival_rng(2026);
-  const Time horizon(Duration::seconds(30).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
-  runtime.run_until(horizon + Duration::seconds(8));
-
-  for (const reconfig::ReconfigReport& report : manager.history()) {
+  for (const reconfig::ReconfigReport& report : outcome.reconfig_history) {
     std::printf(
         "t=%6.2fs %-26s %s (%zu reconfigured, %zu migrated, %zu removed)\n",
         static_cast<double>(report.at.usec()) / 1e6, report.label.c_str(),
         report.applied ? "applied" : ("REJECTED: " + report.error).c_str(),
         report.reconfigured, report.migrated_tasks, report.removed);
   }
-  const auto& total = runtime.metrics().total();
   std::printf("arrivals=%llu released=%llu completed=%llu misses=%llu\n",
-              static_cast<unsigned long long>(total.arrivals),
-              static_cast<unsigned long long>(total.releases),
-              static_cast<unsigned long long>(total.completions),
-              static_cast<unsigned long long>(total.deadline_misses));
+              static_cast<unsigned long long>(outcome.arrivals),
+              static_cast<unsigned long long>(outcome.releases),
+              static_cast<unsigned long long>(outcome.completions),
+              static_cast<unsigned long long>(outcome.deadline_misses));
 
-  const bool healthy = manager.applied_count() == 3 &&
-                       total.deadline_misses == 0 &&
-                       total.releases == total.completions;
+  const bool healthy = outcome.reconfig_applied == 3 &&
+                       outcome.deadline_misses == 0 &&
+                       outcome.releases == outcome.completions;
   if (!healthy) {
     std::fprintf(stderr, "mode-change run did not meet its guarantees\n");
     return 1;

@@ -17,12 +17,14 @@
 //   loss-tolerant profile    — job skipping allowed, stateless proportional
 //       controllers, per-job overhead budget               => J_J_J
 //
-// and reports alert response times and accepted utilization for both.
+// and reports alert response times and accepted utilization for both.  The
+// questionnaire picks the strategies; the run itself is one declarative
+// scenario spec (Scenario API) built from the same workload text.
 #include <cstdio>
 
 #include "config/engine.h"
 #include "config/questionnaire.h"
-#include "workload/arrival.h"
+#include "scenario/builder.h"
 
 using namespace rtcm;
 
@@ -48,6 +50,8 @@ task hazard-alert aperiodic deadline=900ms mean_interarrival=700ms
 )";
 
 void run_profile(const char* title, const config::Answers& answers) {
+  // The questionnaire (paper §6, Table 1) maps the developer's answers to a
+  // strategy combination, refusing invalid ones.
   config::EngineInput input;
   input.workload_spec = kPlantSpec;
   input.answers = answers;
@@ -64,27 +68,29 @@ void run_profile(const char* title, const config::Answers& answers) {
     std::printf("  note: %s\n", note.c_str());
   }
 
-  core::SystemConfig base;  // paper-style 322us network
-  auto runtime = config::ConfigurationEngine::launch(out.value(), base);
-  if (!runtime.is_ok()) {
-    std::fprintf(stderr, "launch failed: %s\n", runtime.message().c_str());
+  // Same workload text, selected strategies, paper-style 322us network: one
+  // declarative spec, one run() call.
+  auto result = scenario::ScenarioBuilder(title)
+                    .workload_spec_text(kPlantSpec)
+                    .strategies(out.value().selection.strategies)
+                    .seed(7)
+                    .horizon(Duration::seconds(60))
+                    .drain(Duration::seconds(10))
+                    .run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.message().c_str());
     return;
   }
-  core::SystemRuntime& rt = *runtime.value();
+  const scenario::ScenarioResult& outcome = result.value();
 
-  Rng rng(7);
-  const Time horizon(Duration::seconds(60).usec());
-  rt.inject_arrivals(workload::generate_arrivals(rt.tasks(), horizon, rng));
-  rt.run_until(horizon + Duration::seconds(10));
-
-  const auto& alert = rt.metrics().per_task().at(TaskId(3));
+  const auto& alert = outcome.metrics().per_task().at(TaskId(3));
   std::printf(
       "accepted utilization ratio: %.3f\n"
       "hazard alerts: %llu arrived, %llu handled, %llu skipped, "
       "0 deadline misses allowed -> %llu observed\n"
       "alert end-to-end response: mean %.1f ms, max %.1f ms "
       "(deadline 900 ms)\n\n",
-      rt.metrics().accepted_utilization_ratio(),
+      outcome.accept_ratio,
       static_cast<unsigned long long>(alert.arrivals),
       static_cast<unsigned long long>(alert.completions),
       static_cast<unsigned long long>(alert.rejections),

@@ -1,82 +1,64 @@
-// Quickstart: build a two-task system, run it, read the metrics.
+// Quickstart: declare a two-task scenario, run it, read the metrics.
 //
-// This is the smallest useful rtcm program:
-//   1. describe end-to-end tasks (subtask chains over processors),
-//   2. pick a strategy combination for the AC / IR / LB services,
-//   3. assemble the middleware on the discrete-event simulator,
-//   4. inject job arrivals and run,
-//   5. read the metrics.
+// This is the smallest useful rtcm program, written against the Scenario
+// API: one fluent, declarative spec covers the tasks, the service
+// strategies, the arrival model and the horizon; Scenario::run() assembles
+// the middleware on the discrete-event simulator, drives it and returns a
+// structured result.  The same spec serializes to JSON (see the end) so a
+// scenario can be logged, diffed and replayed.
 //
 // Build & run:  ./build/example_quickstart
 #include <cstdio>
 
-#include "core/runtime.h"
-#include "workload/arrival.h"
+#include "scenario/builder.h"
 
 using namespace rtcm;
 
 int main() {
-  // --- 1. Describe the workload -------------------------------------------
-  // A periodic two-stage pipeline (sensor -> actuator) and an aperiodic
-  // single-stage event handler sharing processor P1.
-  sched::TaskSet tasks;
-
-  sched::TaskSpec pipeline;
-  pipeline.id = TaskId(0);
-  pipeline.name = "sensor-pipeline";
-  pipeline.kind = sched::TaskKind::kPeriodic;
-  pipeline.deadline = Duration::milliseconds(500);
-  pipeline.period = Duration::milliseconds(500);
-  pipeline.subtasks = {
-      {Duration::milliseconds(40), ProcessorId(0), {ProcessorId(2)}},
-      {Duration::milliseconds(25), ProcessorId(1), {}},
-  };
-  if (Status s = tasks.add(pipeline); !s.is_ok()) {
-    std::fprintf(stderr, "bad task: %s\n", s.message().c_str());
+  // One declarative spec: a periodic two-stage pipeline (sensor -> actuator)
+  // and an aperiodic single-stage event handler sharing processor P1, run
+  // under the paper's most permissive valid combination family (AC per job,
+  // IR per job, LB per task).
+  const auto spec =
+      scenario::ScenarioBuilder("quickstart")
+          .task(scenario::TaskBuilder::periodic(0, "sensor-pipeline",
+                                                Duration::milliseconds(500))
+                    .stage(Duration::milliseconds(40), 0, {2})
+                    .stage(Duration::milliseconds(25), 1))
+          .task(scenario::TaskBuilder::aperiodic(1, "operator-command",
+                                                 Duration::milliseconds(300))
+                    .mean_interarrival(Duration::milliseconds(800))
+                    .stage(Duration::milliseconds(30), 1, {0}))
+          .strategies("J_J_T")
+          .seed(2024)
+          .horizon(Duration::seconds(30))
+          .drain(Duration::seconds(5))
+          .build();
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "bad scenario: %s\n", spec.message().c_str());
     return 1;
   }
 
-  sched::TaskSpec handler;
-  handler.id = TaskId(1);
-  handler.name = "operator-command";
-  handler.kind = sched::TaskKind::kAperiodic;
-  handler.deadline = Duration::milliseconds(300);
-  handler.mean_interarrival = Duration::milliseconds(800);
-  handler.subtasks = {
-      {Duration::milliseconds(30), ProcessorId(1), {ProcessorId(0)}},
-  };
-  if (Status s = tasks.add(handler); !s.is_ok()) {
-    std::fprintf(stderr, "bad task: %s\n", s.message().c_str());
+  auto result = scenario::run_scenario(spec.value());
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "run failed: %s\n", result.message().c_str());
     return 1;
   }
-
-  // --- 2. Pick service strategies ------------------------------------------
-  // Admission control per job, idle resetting per job, load balancing per
-  // task: the paper's most permissive valid combination family.
-  core::SystemConfig config;
-  config.strategies = core::StrategyCombination::parse("J_J_T").value();
-
-  // --- 3. Assemble -----------------------------------------------------------
-  core::SystemRuntime runtime(config, std::move(tasks));
-  if (Status s = runtime.assemble(); !s.is_ok()) {
-    std::fprintf(stderr, "assemble failed: %s\n", s.message().c_str());
-    return 1;
-  }
+  const scenario::ScenarioResult& outcome = result.value();
   std::printf("assembled: %zu application processors + task manager %s\n",
-              runtime.app_processors().size(),
-              runtime.task_manager().to_string().c_str());
+              outcome.runtime->app_processors().size(),
+              outcome.runtime->task_manager().to_string().c_str());
 
-  // --- 4. Drive --------------------------------------------------------------
-  Rng rng(2024);
-  const Time horizon(Duration::seconds(30).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, rng));
-  runtime.run_until(horizon + Duration::seconds(5));
-
-  // --- 5. Inspect ------------------------------------------------------------
-  std::printf("\n%s\n", runtime.metrics().render().c_str());
+  std::printf("\n%s\n", outcome.metrics().render().c_str());
   std::printf("admission tests run: %llu\n",
-              static_cast<unsigned long long>(
-                  runtime.admission_control()->counters().admission_tests));
-  return runtime.metrics().total().deadline_misses == 0 ? 0 : 1;
+              static_cast<unsigned long long>(outcome.runtime
+                                                  ->admission_control()
+                                                  ->counters()
+                                                  .admission_tests));
+
+  // The spec is data: this JSON form is the whole experiment, byte-stable
+  // across runs and platforms.
+  std::printf("\nserialized spec:\n%s\n",
+              scenario::to_json(spec.value()).dump().c_str());
+  return outcome.deadline_misses == 0 ? 0 : 1;
 }

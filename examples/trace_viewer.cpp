@@ -1,6 +1,7 @@
 // Trace viewer: watch one job travel through the middleware.
 //
-// Runs a tiny two-task system with execution tracing enabled and prints the
+// Declares a tiny two-task scenario with execution tracing enabled and an
+// explicit arrival trace (the Scenario API's replay form), then prints the
 // timestamped record of everything that happened — arrivals, admission
 // tests, accepts/rejects, releases, subjob completions, idle transitions
 // and idle-reset reports.  Useful for understanding the event flow of
@@ -8,8 +9,9 @@
 //
 // Usage: trace_viewer [--combo=J_J_T] [--horizon_ms=600]
 #include <cstdio>
+#include <utility>
 
-#include "core/runtime.h"
+#include "scenario/builder.h"
 #include "util/flags.h"
 
 using namespace rtcm;
@@ -17,67 +19,44 @@ using namespace rtcm;
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const std::string combo_label = flags.get_string("combo", "J_J_T");
-  const auto combo = core::StrategyCombination::parse(combo_label);
-  if (!combo.is_ok()) {
-    std::fprintf(stderr, "%s\n", combo.message().c_str());
-    return 1;
-  }
-
-  sched::TaskSet tasks;
-  {
-    sched::TaskSpec pipeline;
-    pipeline.id = TaskId(0);
-    pipeline.name = "pipeline";
-    pipeline.kind = sched::TaskKind::kPeriodic;
-    pipeline.deadline = Duration::milliseconds(200);
-    pipeline.period = Duration::milliseconds(200);
-    pipeline.subtasks = {
-        {Duration::milliseconds(30), ProcessorId(0), {ProcessorId(1)}},
-        {Duration::milliseconds(20), ProcessorId(1), {}},
-    };
-    if (Status s = tasks.add(pipeline); !s.is_ok()) {
-      std::fprintf(stderr, "%s\n", s.message().c_str());
-      return 1;
-    }
-    sched::TaskSpec burst;
-    burst.id = TaskId(1);
-    burst.name = "burst";
-    burst.kind = sched::TaskKind::kAperiodic;
-    burst.deadline = Duration::milliseconds(150);
-    burst.mean_interarrival = Duration::milliseconds(300);
-    burst.subtasks = {
-        {Duration::milliseconds(40), ProcessorId(0), {ProcessorId(1)}},
-    };
-    if (Status s = tasks.add(burst); !s.is_ok()) {
-      std::fprintf(stderr, "%s\n", s.message().c_str());
-      return 1;
-    }
-  }
-
-  core::SystemConfig config;
-  config.strategies = combo.value();
-  config.enable_trace = true;
-  core::SystemRuntime runtime(config, std::move(tasks));
-  if (Status s = runtime.assemble(); !s.is_ok()) {
-    std::fprintf(stderr, "assemble failed: %s\n", s.message().c_str());
-    return 1;
-  }
+  const std::int64_t horizon_ms = flags.get_int("horizon_ms", 600);
 
   // A deliberately bursty arrival pattern: periodic jobs at 0/200/400 ms,
   // three aperiodic jobs bunched at ~90 ms so one gets rejected.
-  runtime.inject_arrival(TaskId(0), Time(0));
-  runtime.inject_arrival(TaskId(1), Time(Duration::milliseconds(90).usec()));
-  runtime.inject_arrival(TaskId(1), Time(Duration::milliseconds(95).usec()));
-  runtime.inject_arrival(TaskId(1), Time(Duration::milliseconds(99).usec()));
-  runtime.inject_arrival(TaskId(0), Time(Duration::milliseconds(200).usec()));
-  runtime.inject_arrival(TaskId(0), Time(Duration::milliseconds(400).usec()));
+  const std::vector<core::Arrival> arrivals = {
+      {TaskId(0), Time(0)},
+      {TaskId(1), Time(Duration::milliseconds(90).usec())},
+      {TaskId(1), Time(Duration::milliseconds(95).usec())},
+      {TaskId(1), Time(Duration::milliseconds(99).usec())},
+      {TaskId(0), Time(Duration::milliseconds(200).usec())},
+      {TaskId(0), Time(Duration::milliseconds(400).usec())},
+  };
 
-  const std::int64_t horizon_ms = flags.get_int("horizon_ms", 600);
-  runtime.run_until(Time(Duration::milliseconds(horizon_ms).usec()));
+  auto result =
+      scenario::ScenarioBuilder("trace-viewer")
+          .task(scenario::TaskBuilder::periodic(0, "pipeline",
+                                                Duration::milliseconds(200))
+                    .stage(Duration::milliseconds(30), 0, {1})
+                    .stage(Duration::milliseconds(20), 1))
+          .task(scenario::TaskBuilder::aperiodic(1, "burst",
+                                                 Duration::milliseconds(150))
+                    .mean_interarrival(Duration::milliseconds(300))
+                    .stage(Duration::milliseconds(40), 0, {1}))
+          .strategies(combo_label)
+          .arrivals(scenario::ArrivalModel::explicit_trace(arrivals))
+          .enable_trace()
+          .horizon(Duration::milliseconds(horizon_ms))
+          .drain(Duration::zero())
+          .run();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.message().c_str());
+    return 1;
+  }
 
+  scenario::ScenarioResult outcome = std::move(result).value();
   std::printf("strategies: %s   (%zu trace records)\n\n", combo_label.c_str(),
-              runtime.trace().records().size());
-  std::printf("%s", runtime.trace().render().c_str());
-  std::printf("\n%s", runtime.metrics().render().c_str());
+              outcome.trace().records().size());
+  std::printf("%s", outcome.trace().render().c_str());
+  std::printf("\n%s", outcome.metrics().render().c_str());
   return 0;
 }

@@ -7,16 +7,23 @@
 # Any bench exiting nonzero fails the whole script (after running the rest),
 # so CI can gate on it.
 #
-# Usage: scripts/run_benches.sh [--build-dir DIR] [--report-dir DIR] [bench args...]
+# The scenario-grid bench (bench_scenario_grids) runs once per named grid
+# from the scenario registry; --grids overrides the default comma-separated
+# list of registry entries (those without a dedicated figure bench).
+#
+# Usage: scripts/run_benches.sh [--build-dir DIR] [--report-dir DIR]
+#                               [--grids a,b,c] [bench args...]
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="build"
 REPORT_DIR="bench_reports"
+SCENARIO_GRIDS="bursty,jittered,imbalanced-heavy,drain-storm,long-horizon"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --report-dir) REPORT_DIR="$2"; shift 2 ;;
+    --grids) SCENARIO_GRIDS="$2"; shift 2 ;;
     *) break ;;
   esac
 done
@@ -44,12 +51,26 @@ for bench in "${BUILD_DIR}"/bench_*; do
       "${bench}" \
         "--benchmark_out=${REPORT_DIR}/BENCH_${name}.json" \
         --benchmark_out_format=json
+      status=$?
+      ;;
+    # The registry bench: one pass per named scenario grid, each with its
+    # own report file.
+    scenario_grids)
+      status=0
+      for grid in ${SCENARIO_GRIDS//,/ }; do
+        echo "-- grid ${grid} --"
+        "${bench}" "--grid=${grid}" \
+          "--json_out=${REPORT_DIR}/BENCH_scenario_${grid}.json" "$@"
+        grid_status=$?
+        [[ ${grid_status} -ne 0 ]] && status=${grid_status}
+        echo
+      done
       ;;
     *)
       "${bench}" "--json_out=${REPORT_DIR}/BENCH_${name}.json" "$@"
+      status=$?
       ;;
   esac
-  status=$?
   if [[ ${status} -ne 0 ]]; then
     echo "bench_${name} FAILED with exit code ${status}" >&2
     FAILED+=("bench_${name}")

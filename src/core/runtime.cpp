@@ -7,6 +7,53 @@
 
 namespace rtcm::core {
 
+Status validate_config(const SystemConfig& config) {
+  if (!config.strategies.valid()) {
+    return Status::error("invalid strategy combination " +
+                         config.strategies.label() + ": " +
+                         config.strategies.invalid_reason());
+  }
+  if (config.comm_latency.is_negative()) {
+    return Status::error("comm_latency must be non-negative, got " +
+                         config.comm_latency.to_string());
+  }
+  if (config.comm_jitter.is_negative()) {
+    return Status::error("comm_jitter must be non-negative, got " +
+                         config.comm_jitter.to_string());
+  }
+  if (config.loopback_latency.is_negative()) {
+    return Status::error("loopback_latency must be non-negative, got " +
+                         config.loopback_latency.to_string());
+  }
+  if (config.lb_policy != "lowest-util" && config.lb_policy != "primary" &&
+      config.lb_policy != "random") {
+    return Status::error(
+        "unknown lb_policy '" + config.lb_policy +
+        "' (expected lowest-util | primary | random)");
+  }
+  if (config.analysis == AperiodicAnalysis::kDeferrableServer) {
+    if (config.ds_server.budget <= Duration::zero()) {
+      return Status::error("DS server budget must be positive, got " +
+                           config.ds_server.budget.to_string());
+    }
+    if (config.ds_server.period <= Duration::zero()) {
+      return Status::error("DS server period must be positive, got " +
+                           config.ds_server.period.to_string());
+    }
+    if (config.ds_server.budget > config.ds_server.period) {
+      return Status::error("DS server budget " +
+                           config.ds_server.budget.to_string() +
+                           " exceeds its period " +
+                           config.ds_server.period.to_string());
+    }
+    if (config.ds_server.hop_overhead.is_negative()) {
+      return Status::error("DS hop_overhead must be non-negative, got " +
+                           config.ds_server.hop_overhead.to_string());
+    }
+  }
+  return Status::ok();
+}
+
 SystemRuntime::SystemRuntime(SystemConfig config, sched::TaskSet tasks)
     : config_(std::move(config)), tasks_(std::move(tasks)) {
   if (config_.enable_trace) trace_.enable();
@@ -78,11 +125,7 @@ void SystemRuntime::register_component_types() {
 
 Status SystemRuntime::assemble_infrastructure() {
   if (network_) return Status::error("infrastructure already assembled");
-  if (!config_.strategies.valid()) {
-    return Status::error("invalid strategy combination " +
-                         config_.strategies.label() + ": " +
-                         config_.strategies.invalid_reason());
-  }
+  if (Status s = validate_config(config_); !s.is_ok()) return s;
   if (tasks_.empty()) return Status::error("task set is empty");
 
   app_processors_ = tasks_.processors();
@@ -373,21 +416,27 @@ sim::DeferrableServer* SystemRuntime::deferrable_server(ProcessorId proc) {
   return it == servers_.end() ? nullptr : it->second.get();
 }
 
-JobId SystemRuntime::inject_arrival(TaskId task, Time at) {
-  assert(assembled_ && "assemble() must succeed before injecting arrivals");
+Status SystemRuntime::inject_arrival(TaskId task, Time at) {
+  if (!assembled_) {
+    return Status::error(
+        "inject_arrival: runtime is not assembled (call assemble() first)");
+  }
   const sched::TaskSpec* spec = tasks_.find(task);
-  assert(spec && "arrival for unknown task");
+  if (spec == nullptr) {
+    return Status::error("inject_arrival: unknown task " + task.to_string());
+  }
   const ProcessorId arrival_proc = spec->subtasks.front().primary;
   TaskEffector* te = te_.at(arrival_proc);
   const JobId job(next_job_++);
   sim_.schedule_at(at, [te, task, job] { te->job_arrived(task, job); });
-  return job;
+  return Status::ok();
 }
 
-void SystemRuntime::inject_arrivals(const std::vector<Arrival>& arrivals) {
+Status SystemRuntime::inject_arrivals(const std::vector<Arrival>& arrivals) {
   for (const Arrival& a : arrivals) {
-    (void)inject_arrival(a.task, a.time);
+    if (Status s = inject_arrival(a.task, a.time); !s.is_ok()) return s;
   }
+  return Status::ok();
 }
 
 }  // namespace rtcm::core

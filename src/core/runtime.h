@@ -58,6 +58,13 @@ struct SystemConfig {
   sched::DsServerConfig ds_server{};
 };
 
+/// Validate a SystemConfig before any component is built: rejects invalid
+/// strategy combinations, negative latencies/jitter, unknown load-balancer
+/// policies and malformed deferrable-server parameters with a descriptive
+/// error.  assemble()/assemble_infrastructure() run this first, so a bad
+/// configuration can never silently misbehave mid-simulation.
+[[nodiscard]] Status validate_config(const SystemConfig& config);
+
 /// One externally-driven job arrival.
 struct Arrival {
   TaskId task;
@@ -91,9 +98,11 @@ class SystemRuntime {
 
   // --- Driving -------------------------------------------------------------
 
-  /// Schedule a job arrival; ids are assigned in injection order.
-  JobId inject_arrival(TaskId task, Time at);
-  void inject_arrivals(const std::vector<Arrival>& arrivals);
+  /// Schedule a job arrival; ids are assigned in injection order.  Errors
+  /// (runtime not assembled, unknown task) are reported instead of UB.
+  Status inject_arrival(TaskId task, Time at);
+  /// Inject a whole trace; stops at the first rejected arrival.
+  Status inject_arrivals(const std::vector<Arrival>& arrivals);
   void run_until(Time horizon) { sim_.run_until(horizon); }
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
 

@@ -1,0 +1,199 @@
+#include "scenario/builder.h"
+
+#include "config/workload_spec.h"
+
+namespace rtcm::scenario {
+
+TaskBuilder TaskBuilder::periodic(std::int32_t id, std::string name,
+                                  Duration deadline) {
+  TaskBuilder builder;
+  builder.spec_.id = TaskId(id);
+  builder.spec_.name = std::move(name);
+  builder.spec_.kind = sched::TaskKind::kPeriodic;
+  builder.spec_.deadline = deadline;
+  builder.spec_.period = deadline;
+  return builder;
+}
+
+TaskBuilder TaskBuilder::aperiodic(std::int32_t id, std::string name,
+                                   Duration deadline) {
+  TaskBuilder builder;
+  builder.spec_.id = TaskId(id);
+  builder.spec_.name = std::move(name);
+  builder.spec_.kind = sched::TaskKind::kAperiodic;
+  builder.spec_.deadline = deadline;
+  builder.spec_.mean_interarrival = deadline;
+  return builder;
+}
+
+TaskBuilder& TaskBuilder::period(Duration period) {
+  spec_.period = period;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::mean_interarrival(Duration mean) {
+  spec_.mean_interarrival = mean;
+  return *this;
+}
+
+TaskBuilder& TaskBuilder::stage(Duration execution, std::int32_t primary,
+                                std::vector<std::int32_t> replicas) {
+  sched::SubtaskSpec st;
+  st.execution = execution;
+  st.primary = ProcessorId(primary);
+  for (const std::int32_t r : replicas) st.replicas.push_back(ProcessorId(r));
+  spec_.subtasks.push_back(std::move(st));
+  return *this;
+}
+
+ScenarioBuilder::ScenarioBuilder(std::string name) {
+  spec_.name = std::move(name);
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  spec_.seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::horizon(Duration horizon) {
+  spec_.horizon = horizon;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::drain(Duration drain) {
+  spec_.drain = drain;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::strategies(const std::string& label) {
+  const auto combo = core::StrategyCombination::parse(label);
+  if (!combo.is_ok()) {
+    errors_.push_back(combo.message());
+    return *this;
+  }
+  spec_.config.strategies = combo.value();
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::strategies(
+    const core::StrategyCombination& combo) {
+  spec_.config.strategies = combo;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::comm_latency(Duration latency) {
+  spec_.config.comm_latency = latency;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::comm_jitter(Duration jitter,
+                                              std::uint64_t seed) {
+  spec_.config.comm_jitter = jitter;
+  spec_.config.comm_jitter_seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::loopback_latency(Duration latency) {
+  spec_.config.loopback_latency = latency;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::lb_policy(std::string policy) {
+  spec_.config.lb_policy = std::move(policy);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::lb_seed(std::uint64_t seed) {
+  spec_.config.lb_seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::deferrable_server(
+    const sched::DsServerConfig& server) {
+  spec_.config.analysis = core::AperiodicAnalysis::kDeferrableServer;
+  spec_.config.ds_server = server;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::task_manager(std::int32_t processor) {
+  spec_.config.task_manager = ProcessorId(processor);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::enable_trace(bool enabled) {
+  spec_.config.enable_trace = enabled;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::config(core::SystemConfig config) {
+  spec_.config = std::move(config);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload(workload::WorkloadShape shape) {
+  spec_.workload = WorkloadSpec::generated(std::move(shape));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::task(const sched::TaskSpec& spec) {
+  spec_.workload.kind = WorkloadSpec::Kind::kExplicit;
+  if (Status s = spec_.workload.tasks.add(spec); !s.is_ok()) {
+    errors_.push_back("task '" + spec.name + "': " + s.message());
+  }
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::task(const TaskBuilder& builder) {
+  return task(builder.build());
+}
+
+ScenarioBuilder& ScenarioBuilder::tasks(sched::TaskSet set) {
+  spec_.workload = WorkloadSpec::explicit_tasks(std::move(set));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload_spec_text(const std::string& text) {
+  auto parsed = config::parse_workload_spec(text);
+  if (!parsed.is_ok()) {
+    errors_.push_back(parsed.message());
+    return *this;
+  }
+  spec_.workload = WorkloadSpec::explicit_tasks(std::move(parsed).value());
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::arrivals(ArrivalModel model) {
+  spec_.arrivals = std::move(model);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::reconfig(
+    std::vector<config::ModeChange> script) {
+  spec_.reconfig = std::move(script);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::mode_change(config::ModeChange change) {
+  spec_.reconfig.push_back(std::move(change));
+  return *this;
+}
+
+Result<ScenarioSpec> ScenarioBuilder::build() const {
+  if (!errors_.empty()) {
+    return Result<ScenarioSpec>::error("scenario '" + spec_.name +
+                                       "': " + errors_.front());
+  }
+  if (Status s = validate(spec_); !s.is_ok()) {
+    return Result<ScenarioSpec>::error("scenario '" + spec_.name +
+                                       "': " + s.message());
+  }
+  return spec_;
+}
+
+Result<ScenarioResult> ScenarioBuilder::run() const {
+  auto spec = build();
+  if (!spec.is_ok()) return Result<ScenarioResult>::error(spec.message());
+  return run_scenario(spec.value());
+}
+
+}  // namespace rtcm::scenario

@@ -1,0 +1,95 @@
+// Fluent builders over ScenarioSpec / sched::TaskSpec.
+//
+// The builders keep hand-written scenarios (examples, tests) one expression
+// long while producing exactly the same declarative data the JSON form
+// carries.  Parse/validation problems are collected and surface once, from
+// build(), as a descriptive error — so chains stay unconditional.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace rtcm::scenario {
+
+/// Compact end-to-end task description:
+///   TaskBuilder::periodic(0, "sensor", Duration::milliseconds(500))
+///       .stage(Duration::milliseconds(40), 0, {2})
+///       .stage(Duration::milliseconds(25), 1)
+class TaskBuilder {
+ public:
+  /// Periodic task; the period defaults to the deadline (the paper's §7.1
+  /// calibration) and can be overridden with period().
+  [[nodiscard]] static TaskBuilder periodic(std::int32_t id, std::string name,
+                                            Duration deadline);
+  /// Aperiodic task; the Poisson mean interarrival defaults to the deadline
+  /// and can be overridden with mean_interarrival().
+  [[nodiscard]] static TaskBuilder aperiodic(std::int32_t id,
+                                             std::string name,
+                                             Duration deadline);
+
+  TaskBuilder& period(Duration period);
+  TaskBuilder& mean_interarrival(Duration mean);
+  /// Append one stage: execution time, primary processor, replica hosts.
+  TaskBuilder& stage(Duration execution, std::int32_t primary,
+                     std::vector<std::int32_t> replicas = {});
+
+  [[nodiscard]] const sched::TaskSpec& build() const { return spec_; }
+
+ private:
+  sched::TaskSpec spec_;
+};
+
+/// Fluent assembly of a ScenarioSpec; build() validates and reports the
+/// first problem (bad strategy label, malformed task, workload-spec parse
+/// error) instead of silently producing a broken spec.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::string name);
+
+  // --- Run parameters -------------------------------------------------------
+  ScenarioBuilder& seed(std::uint64_t seed);
+  ScenarioBuilder& horizon(Duration horizon);
+  ScenarioBuilder& drain(Duration drain);
+
+  // --- System configuration -------------------------------------------------
+  ScenarioBuilder& strategies(const std::string& label);
+  ScenarioBuilder& strategies(const core::StrategyCombination& combo);
+  ScenarioBuilder& comm_latency(Duration latency);
+  ScenarioBuilder& comm_jitter(Duration jitter, std::uint64_t seed = 1);
+  ScenarioBuilder& loopback_latency(Duration latency);
+  ScenarioBuilder& lb_policy(std::string policy);
+  ScenarioBuilder& lb_seed(std::uint64_t seed);
+  ScenarioBuilder& deferrable_server(const sched::DsServerConfig& server);
+  ScenarioBuilder& task_manager(std::int32_t processor);
+  ScenarioBuilder& enable_trace(bool enabled = true);
+  /// Replace the whole SystemConfig (keeps later knob calls applicable).
+  ScenarioBuilder& config(core::SystemConfig config);
+
+  // --- Workload -------------------------------------------------------------
+  ScenarioBuilder& workload(workload::WorkloadShape shape);
+  ScenarioBuilder& task(const sched::TaskSpec& spec);
+  ScenarioBuilder& task(const TaskBuilder& builder);
+  ScenarioBuilder& tasks(sched::TaskSet set);
+  /// Parse a §6 workload specification document (config/workload_spec.h).
+  ScenarioBuilder& workload_spec_text(const std::string& text);
+
+  // --- Arrivals & reconfiguration ------------------------------------------
+  ScenarioBuilder& arrivals(ArrivalModel model);
+  ScenarioBuilder& reconfig(std::vector<config::ModeChange> script);
+  ScenarioBuilder& mode_change(config::ModeChange change);
+
+  /// Validate and return the spec; the first collected problem wins.
+  [[nodiscard]] Result<ScenarioSpec> build() const;
+  /// build() + run_scenario() in one call.
+  [[nodiscard]] Result<ScenarioResult> run() const;
+
+ private:
+  ScenarioSpec spec_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace rtcm::scenario

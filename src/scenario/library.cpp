@@ -1,0 +1,191 @@
+#include "scenario/library.h"
+
+#include <utility>
+
+namespace rtcm::scenario {
+
+namespace {
+
+std::vector<core::StrategyCombination> combos(
+    const std::vector<std::string>& labels) {
+  std::vector<core::StrategyCombination> out;
+  out.reserve(labels.size());
+  for (const std::string& label : labels) {
+    out.push_back(core::StrategyCombination::parse(label).value());
+  }
+  return out;
+}
+
+/// Mode-change instants scale with the horizon so short CI runs exercise the
+/// same script shape as full ones.  Mirrors the reconfig bench's storm.
+std::vector<config::ModeChange> storm_script(Duration horizon,
+                                             ProcessorId drained_node) {
+  const Time t30 = Time::epoch() + Duration(horizon.usec() * 3 / 10);
+  const Time t45 = Time::epoch() + Duration(horizon.usec() * 45 / 100);
+  const Time t60 = Time::epoch() + Duration(horizon.usec() * 6 / 10);
+  const Time t80 = Time::epoch() + Duration(horizon.usec() * 8 / 10);
+
+  std::vector<config::ModeChange> script;
+  config::ModeChange swap;
+  swap.at = t30;
+  swap.label = "go-J_N_J";
+  swap.strategies = core::StrategyCombination::parse("J_N_J").value();
+  script.push_back(std::move(swap));
+  config::ModeChange policy;
+  policy.at = t45;
+  policy.label = "lb-primary";
+  policy.lb_policy = "primary";
+  script.push_back(std::move(policy));
+  config::ModeChange drain;
+  drain.at = t60;
+  drain.label = "drain";
+  drain.drain = {drained_node};
+  script.push_back(std::move(drain));
+  config::ModeChange undrain;
+  undrain.at = t80;
+  undrain.label = "undrain";
+  undrain.undrain = {drained_node};
+  script.push_back(std::move(undrain));
+  return script;
+}
+
+NamedGrid fig5_entry() {
+  NamedGrid entry;
+  entry.name = "fig5";
+  entry.title =
+      "Paper Figure 5: all 15 strategy combinations on Sec-7.1 random "
+      "workloads";
+  entry.grid.combos = core::valid_combinations();
+  entry.grid.shapes = {{"random", workload::random_workload_shape()}};
+  return entry;
+}
+
+NamedGrid fig6_entry() {
+  NamedGrid entry;
+  entry.name = "fig6";
+  entry.title =
+      "Paper Figure 6: all 15 strategy combinations on Sec-7.2 imbalanced "
+      "workloads";
+  entry.grid.combos = core::valid_combinations();
+  entry.grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
+  return entry;
+}
+
+NamedGrid bursty_entry() {
+  NamedGrid entry;
+  entry.name = "bursty";
+  entry.title =
+      "Aperiodic overload bursts instead of Poisson arrivals (admission "
+      "under pressure)";
+  entry.grid.combos = combos({"T_N_N", "J_T_T", "J_J_J"});
+  entry.grid.shapes = {{"random", workload::random_workload_shape()}};
+  workload::BurstShape burst;
+  burst.bursts = 4;
+  burst.jobs_per_burst = 8;
+  burst.intra_gap = Duration::milliseconds(5);
+  burst.inter_gap = Duration::seconds(2);
+  entry.params.base.arrivals = ArrivalModel::bursty(burst);
+  return entry;
+}
+
+NamedGrid jittered_entry() {
+  NamedGrid entry;
+  entry.name = "jittered";
+  entry.title =
+      "Network-jitter axis: uniform per-message jitter on top of the paper's "
+      "322us delay";
+  entry.grid.combos = combos({"J_T_T", "J_J_J"});
+  entry.grid.shapes = {{"random", workload::random_workload_shape()}};
+  entry.grid.variants = {"jitter-0us", "jitter-500us", "jitter-5ms"};
+  entry.params.specialize = [](const sweep::Cell& cell, ScenarioSpec& spec) {
+    if (cell.variant == "jitter-500us") {
+      spec.config.comm_jitter = Duration::microseconds(500);
+    } else if (cell.variant == "jitter-5ms") {
+      spec.config.comm_jitter = Duration::milliseconds(5);
+    }
+    spec.config.comm_jitter_seed = cell.seed;
+  };
+  return entry;
+}
+
+NamedGrid imbalanced_heavy_entry() {
+  NamedGrid entry;
+  entry.name = "imbalanced-heavy";
+  entry.title =
+      "4 primary processors at 0.85 utilization + 2 replica hosts (LB "
+      "stress beyond Sec 7.2)";
+  entry.grid.combos = combos({"J_N_N", "J_N_T", "J_N_J"});
+  workload::ImbalancedShape shape;
+  shape.primaries = 4;
+  shape.replicas = 2;
+  shape.utilization = 0.85;
+  entry.grid.shapes = {
+      {"imbalanced-4p-0.85", workload::make_imbalanced_shape(shape)}};
+  return entry;
+}
+
+NamedGrid drain_storm_entry() {
+  NamedGrid entry;
+  entry.name = "drain-storm";
+  entry.title =
+      "Mid-run reconfiguration storm (strategy swap + policy swap + "
+      "drain/undrain) vs static control";
+  entry.grid.combos = combos({"T_T_N", "J_J_J"});
+  entry.grid.shapes = {{"imbalanced", workload::imbalanced_workload_shape()}};
+  entry.grid.variants = {"static", "storm"};
+  entry.params.specialize = [](const sweep::Cell& cell, ScenarioSpec& spec) {
+    if (cell.variant == "storm") {
+      // The imbalanced shape's last replica processor.
+      spec.reconfig = storm_script(spec.horizon, ProcessorId(4));
+    }
+  };
+  return entry;
+}
+
+NamedGrid long_horizon_entry() {
+  NamedGrid entry;
+  entry.name = "long-horizon";
+  entry.title =
+      "300s horizon on random workloads (steady-state ratios beyond the "
+      "paper's 100s runs)";
+  entry.grid.combos = combos({"T_N_N", "J_T_N", "J_J_J"});
+  entry.grid.shapes = {{"random", workload::random_workload_shape()}};
+  entry.grid.seeds = 5;
+  entry.params.base.horizon = Duration::seconds(300);
+  return entry;
+}
+
+}  // namespace
+
+std::vector<NamedGrid> library() {
+  std::vector<NamedGrid> entries;
+  entries.push_back(fig5_entry());
+  entries.push_back(fig6_entry());
+  entries.push_back(bursty_entry());
+  entries.push_back(jittered_entry());
+  entries.push_back(imbalanced_heavy_entry());
+  entries.push_back(drain_storm_entry());
+  entries.push_back(long_horizon_entry());
+  return entries;
+}
+
+std::vector<std::string> library_names() {
+  std::vector<std::string> names;
+  for (const NamedGrid& entry : library()) names.push_back(entry.name);
+  return names;
+}
+
+Result<NamedGrid> find_grid(const std::string& name) {
+  for (NamedGrid& entry : library()) {
+    if (entry.name == name) return std::move(entry);
+  }
+  std::string known;
+  for (const std::string& n : library_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Result<NamedGrid>::error("unknown scenario grid '" + name +
+                                  "' (available: " + known + ")");
+}
+
+}  // namespace rtcm::scenario

@@ -1,0 +1,37 @@
+// Named scenario-grid library.
+//
+// One registry entry = one runnable experiment grid: a sweep::Grid (the
+// coordinates) plus sweep::SweepParams (the base ScenarioSpec template and
+// per-cell transform).  The paper's Figure-5/6 grids live here next to new
+// workloads (bursty overload, jittered network, heavy imbalance,
+// drain-storm reconfiguration, long-horizon), so opening a new workload is
+// one entry in library() — bench_scenario_grids runs any entry by name and
+// scripts/run_benches.sh collects their schema-v1 reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+#include "util/result.h"
+
+namespace rtcm::scenario {
+
+/// One named, fully parameterized experiment grid.
+struct NamedGrid {
+  std::string name;   ///< Registry key, e.g. "fig5", "drain-storm".
+  std::string title;  ///< One-line description for listings.
+  sweep::Grid grid;
+  sweep::SweepParams params;
+};
+
+/// Every registered grid, in listing order.
+[[nodiscard]] std::vector<NamedGrid> library();
+
+/// Registry keys, in listing order.
+[[nodiscard]] std::vector<std::string> library_names();
+
+/// Look up one entry; the error lists the available names.
+[[nodiscard]] Result<NamedGrid> find_grid(const std::string& name);
+
+}  // namespace rtcm::scenario

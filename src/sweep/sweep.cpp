@@ -1,12 +1,8 @@
 #include "sweep/sweep.h"
 
-#include <chrono>
-#include <memory>
 #include <utility>
 
-#include "reconfig/manager.h"
 #include "util/thread_pool.h"
-#include "workload/arrival.h"
 
 namespace rtcm::sweep {
 
@@ -27,71 +23,45 @@ std::vector<Cell> Grid::cells() const {
   return out;
 }
 
+Result<scenario::ScenarioSpec> cell_spec(const Cell& cell,
+                                         const workload::WorkloadShape& shape,
+                                         const SweepParams& params) {
+  const auto combo = core::StrategyCombination::parse(cell.combo);
+  if (!combo.is_ok()) {
+    return Result<scenario::ScenarioSpec>::error(combo.message());
+  }
+  scenario::ScenarioSpec spec = params.base;
+  spec.name = cell.combo + "/" + cell.shape +
+              (cell.variant.empty() ? "" : "/" + cell.variant) + "/seed" +
+              std::to_string(cell.seed);
+  spec.seed = cell.seed;
+  spec.workload = scenario::WorkloadSpec::generated(shape);
+  spec.config.strategies = combo.value();
+  if (params.specialize) params.specialize(cell, spec);
+  return spec;
+}
+
 CellResult run_cell(const Cell& cell, const workload::WorkloadShape& shape,
                     const SweepParams& params) {
   CellResult result;
   result.cell = cell;
-  const auto started = std::chrono::steady_clock::now();
-
-  Rng rng(cell.seed);
-  workload::WorkloadShape seeded_shape = shape;
-  seeded_shape.aperiodic_interarrival_factor =
-      params.aperiodic_interarrival_factor;
-  auto tasks = workload::generate_workload(seeded_shape, rng);
-
-  core::SystemConfig config;
-  const auto combo = core::StrategyCombination::parse(cell.combo);
-  if (!combo.is_ok()) {
-    result.error = combo.message();
+  auto spec = cell_spec(cell, shape, params);
+  if (!spec.is_ok()) {
+    result.error = spec.message();
     return result;
   }
-  config.strategies = combo.value();
-  config.comm_latency = params.comm_latency;
-  if (params.configure) params.configure(cell, config);
-
-  core::SystemRuntime runtime(std::move(config), std::move(tasks));
-  if (Status status = runtime.assemble(); !status.is_ok()) {
-    result.error = status.message();
+  auto run = scenario::run_scenario(spec.value());
+  if (!run.is_ok()) {
+    result.error = run.message();
     return result;
   }
-  // The reconfiguration axis: a per-cell manager applies the cell's
-  // mode-change script inside the simulation.  Scripts are scheduled before
-  // the arrivals so same-instant ties resolve identically on every run.
-  std::unique_ptr<reconfig::ReconfigurationManager> manager;
-  if (params.reconfig_script) {
-    const std::vector<config::ModeChange> script = params.reconfig_script(cell);
-    if (!script.empty()) {
-      manager = std::make_unique<reconfig::ReconfigurationManager>(runtime);
-      if (Status status = manager->schedule_script(script); !status.is_ok()) {
-        result.error = status.message();
-        return result;
-      }
-    }
-  }
-  Rng arrival_rng = rng.fork(1);
-  const Time horizon = Time::epoch() + params.horizon;
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
-  runtime.run_until(horizon + params.drain);
-
-  if (manager) {
-    result.reconfig_applied = manager->applied_count();
-    result.reconfig_rejected = manager->rejected_count();
-  }
-  result.accept_ratio = runtime.metrics().accepted_utilization_ratio();
-  result.deadline_misses = runtime.metrics().total().deadline_misses;
-  OnlineStats response;
-  for (const auto& [task, tm] : runtime.metrics().per_task()) {
-    if (runtime.tasks().find(task)->kind == sched::TaskKind::kAperiodic) {
-      response.merge(tm.response_ms);
-    }
-  }
-  result.aperiodic_response_ms = response.count() > 0 ? response.mean() : 0.0;
-
-  result.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - started)
-          .count();
+  const scenario::ScenarioResult& outcome = run.value();
+  result.accept_ratio = outcome.accept_ratio;
+  result.deadline_misses = outcome.deadline_misses;
+  result.aperiodic_response_ms = outcome.aperiodic_response_ms;
+  result.reconfig_applied = outcome.reconfig_applied;
+  result.reconfig_rejected = outcome.reconfig_rejected;
+  result.wall_ms = outcome.wall_ms;
   return result;
 }
 

@@ -10,10 +10,13 @@
 // count".  Results land in a pre-sized vector indexed by cell order, so
 // thread interleaving never reorders output.
 //
-// Cells carry an optional free-form `variant` coordinate for ablations that
-// sweep something other than the strategy combination (LB placement policy,
-// deferrable-server sizing); the `configure` hook maps a variant onto the
-// SystemConfig.
+// Since the Scenario API landed, a cell is just coordinates over a base
+// scenario::ScenarioSpec: cell_spec() folds (combo, shape, variant, seed)
+// plus the `specialize` hook into one declarative spec, and run_cell() is a
+// thin wrapper over scenario::run_scenario.  Cells carry an optional
+// free-form `variant` coordinate for ablations that sweep something other
+// than the strategy combination (LB placement policy, deferrable-server
+// sizing, reconfiguration scripts).
 #pragma once
 
 #include <cstdint>
@@ -21,10 +24,8 @@
 #include <string>
 #include <vector>
 
-#include "config/plan_builder.h"
-#include "core/runtime.h"
 #include "core/strategies.h"
-#include "sim/network.h"
+#include "scenario/scenario.h"
 #include "util/time.h"
 #include "workload/generator.h"
 
@@ -76,27 +77,33 @@ struct Grid {
   [[nodiscard]] std::vector<Cell> cells() const;
 };
 
-/// Simulation parameters shared by every cell.
+/// Parameters shared by every cell: a base ScenarioSpec template plus a
+/// per-cell transform.  A grid is exactly "a set of coordinates mapped onto
+/// ScenarioSpecs": the cell's combo/shape/seed overwrite the base spec's
+/// strategies/workload/seed, then `specialize` translates the remaining
+/// coordinates (the variant axis, reconfiguration scripts) into spec edits.
 struct SweepParams {
-  Duration horizon = Duration::seconds(100);
-  Duration drain = Duration::seconds(15);
-  Duration comm_latency = sim::Network::kPaperOneWayDelay;
-  double aperiodic_interarrival_factor = 1.0;
-  /// Applied to each cell's SystemConfig after the strategy combination is
-  /// set; ablations translate `cell.variant` into config here.  Must be
-  /// thread-safe (it runs concurrently on different cells).
-  std::function<void(const Cell&, core::SystemConfig&)> configure;
-  /// The reconfiguration axis: maps a cell to the mode-change script a
-  /// ReconfigurationManager runs inside the cell's simulation (empty = no
-  /// reconfiguration).  Each cell owns its manager, so scripted sweeps keep
-  /// the N-thread == 1-thread byte-identity contract.  Must be thread-safe.
-  std::function<std::vector<config::ModeChange>(const Cell&)> reconfig_script;
+  /// Template for every cell: horizon/drain, SystemConfig knobs and the
+  /// arrival model.  Its name/seed/workload/strategies are overwritten from
+  /// the cell coordinates by cell_spec().
+  scenario::ScenarioSpec base;
+  /// Maps the cell coordinates onto the final spec; runs after the
+  /// coordinates are applied.  Must be thread-safe (it runs concurrently on
+  /// different cells).
+  std::function<void(const Cell&, scenario::ScenarioSpec&)> specialize;
 };
 
 struct SweepOptions {
   /// 0 = hardware concurrency; 1 = inline on the calling thread.
   std::size_t threads = 1;
 };
+
+/// The fully specialized spec a cell runs: base + coordinates + specialize.
+/// Errors when the cell's combo label does not parse.  Exposed so tests can
+/// serialize per-cell specs (the JSON-round-trip-then-rerun contract).
+[[nodiscard]] Result<scenario::ScenarioSpec> cell_spec(
+    const Cell& cell, const workload::WorkloadShape& shape,
+    const SweepParams& params);
 
 /// Run one cell in isolation: fresh Rng, workload, runtime, simulator.
 [[nodiscard]] CellResult run_cell(const Cell& cell,

@@ -1,0 +1,63 @@
+#include "workload/burst.h"
+
+#include <algorithm>
+
+#include "workload/arrival.h"
+
+namespace rtcm::workload {
+
+std::vector<core::Arrival> make_bursty_arrivals(TaskId task,
+                                                const BurstShape& shape) {
+  std::vector<core::Arrival> trace;
+  Time t = shape.start;
+  for (std::size_t b = 0; b < shape.bursts; ++b) {
+    for (std::size_t k = 0; k < shape.jobs_per_burst; ++k) {
+      trace.push_back({task, t});
+      t = t + shape.intra_gap;
+    }
+    t = t + shape.inter_gap;
+  }
+  return trace;
+}
+
+std::vector<core::Arrival> make_bursty_arrivals(
+    const std::vector<TaskId>& tasks, const BurstShape& shape) {
+  std::vector<core::Arrival> merged;
+  for (const TaskId task : tasks) {
+    const auto trace = make_bursty_arrivals(task, shape);
+    merged.insert(merged.end(), trace.begin(), trace.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const core::Arrival& a, const core::Arrival& b) {
+                     return a.time < b.time;
+                   });
+  return merged;
+}
+
+std::vector<core::Arrival> generate_bursty_arrivals(const sched::TaskSet& tasks,
+                                                    Time horizon,
+                                                    const BurstShape& shape,
+                                                    Rng& rng) {
+  std::vector<core::Arrival> out;
+  for (const sched::TaskSpec& task : tasks.tasks()) {
+    if (task.kind == sched::TaskKind::kPeriodic) {
+      // Same per-task fork discipline as generate_arrivals, so adding a task
+      // never reshuffles another task's releases.
+      Rng task_rng = rng.fork(static_cast<std::uint64_t>(task.id.value()));
+      const auto trace = generate_task_arrivals(task, horizon, task_rng);
+      out.insert(out.end(), trace.begin(), trace.end());
+    } else {
+      for (const core::Arrival& a : make_bursty_arrivals(task.id, shape)) {
+        if (a.time < horizon) out.push_back(a);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const core::Arrival& a, const core::Arrival& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.task < b.task;
+                   });
+  return out;
+}
+
+}  // namespace rtcm::workload

@@ -1,0 +1,46 @@
+// Bursty aperiodic arrival traces.
+//
+// Arrival bursts stress admission control far beyond the Poisson model:
+// `jobs_per_burst` back-to-back arrivals separated by `intra_gap`, with the
+// system left alone for `inter_gap` between bursts.  Promoted from the test
+// helpers so benches, examples and the scenario library can declare overload
+// scenarios too; the trace layout is byte-identical to the historical test
+// helper for any given shape.
+#pragma once
+
+#include <vector>
+
+#include "core/runtime.h"
+#include "sched/task.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace rtcm::workload {
+
+struct BurstShape {
+  std::size_t bursts = 3;
+  std::size_t jobs_per_burst = 10;
+  Duration intra_gap = Duration::milliseconds(2);
+  Duration inter_gap = Duration::milliseconds(500);
+  Time start = Time(0);
+};
+
+/// Burst trace for a single task (deterministic; no randomness).
+[[nodiscard]] std::vector<core::Arrival> make_bursty_arrivals(
+    TaskId task, const BurstShape& shape = {});
+
+/// Interleave bursty traces for several tasks (sorted by time, ties by
+/// injection order) so multi-task overload scenarios stay one-liners.
+[[nodiscard]] std::vector<core::Arrival> make_bursty_arrivals(
+    const std::vector<TaskId>& tasks, const BurstShape& shape = {});
+
+/// Whole-task-set form used by the scenario engine's bursty arrival model:
+/// periodic tasks keep their periodic releases (per-task forked streams,
+/// matching generate_arrivals), every aperiodic task gets the burst trace,
+/// and arrivals at or past `horizon` are clipped.  Sorted by time, ties by
+/// task id.
+[[nodiscard]] std::vector<core::Arrival> generate_bursty_arrivals(
+    const sched::TaskSet& tasks, Time horizon, const BurstShape& shape,
+    Rng& rng);
+
+}  // namespace rtcm::workload

@@ -55,6 +55,33 @@ WorkloadShape overhead_workload_shape() {
   return shape;
 }
 
+WorkloadShape make_imbalanced_shape(const ImbalancedShape& opt) {
+  WorkloadShape shape;
+  for (std::size_t p = 0; p < opt.primaries; ++p) {
+    shape.primary_processors.push_back(
+        ProcessorId(static_cast<std::int32_t>(p)));
+  }
+  for (std::size_t p = 0; p < opt.replicas; ++p) {
+    shape.replica_processors.push_back(
+        ProcessorId(static_cast<std::int32_t>(opt.primaries + p)));
+  }
+  shape.periodic_tasks = opt.periodic_tasks;
+  shape.aperiodic_tasks = opt.aperiodic_tasks;
+  shape.min_subtasks = opt.min_subtasks;
+  shape.max_subtasks = opt.max_subtasks;
+  shape.min_deadline = opt.min_deadline;
+  shape.max_deadline = opt.max_deadline;
+  shape.per_processor_utilization = opt.utilization;
+  shape.replicate = opt.replicas > 0;
+  return shape;
+}
+
+sched::TaskSet make_imbalanced_workload(std::uint64_t seed,
+                                        const ImbalancedShape& opt) {
+  Rng rng(seed);
+  return generate_workload(make_imbalanced_shape(opt), rng);
+}
+
 sched::TaskSet generate_workload(const WorkloadShape& shape, Rng& rng) {
   assert(!shape.primary_processors.empty());
   assert(shape.min_subtasks >= 1);

@@ -64,6 +64,36 @@ struct WorkloadShape {
 /// P3..P4, 1-3 subtasks per task.
 [[nodiscard]] WorkloadShape imbalanced_workload_shape();
 
+// --- Imbalanced multi-processor workloads -----------------------------------
+//
+// Parameterized generalization of the paper's §7.2 setup: `primaries`
+// processors host every primary subtask at a per-processor synthetic
+// utilization target, `replicas` further processors host all duplicates.
+// The §7.2 preset is primaries=3, replicas=2, utilization=0.7.  Promoted
+// from the test helpers so benches, examples and the scenario library can
+// sweep the imbalance axis too; output is byte-identical to the historical
+// test helper for any given (seed, shape).
+
+struct ImbalancedShape {
+  std::size_t primaries = 3;
+  std::size_t replicas = 2;
+  double utilization = 0.7;
+  std::size_t periodic_tasks = 5;
+  std::size_t aperiodic_tasks = 4;
+  std::size_t min_subtasks = 1;
+  std::size_t max_subtasks = 3;
+  Duration min_deadline = Duration::milliseconds(250);
+  Duration max_deadline = Duration::seconds(10);
+};
+
+/// Expand an ImbalancedShape into the fully general WorkloadShape.
+[[nodiscard]] WorkloadShape make_imbalanced_shape(
+    const ImbalancedShape& opt = {});
+
+/// Generate a complete imbalanced task set, deterministic in `seed`.
+[[nodiscard]] sched::TaskSet make_imbalanced_workload(
+    std::uint64_t seed, const ImbalancedShape& opt = {});
+
 /// §7.3 preset (overhead runs): 3 application processors, 1-3 subtasks.
 [[nodiscard]] WorkloadShape overhead_workload_shape();
 

@@ -169,5 +169,54 @@ TEST(RuntimeTopologyTest, GeneralizedImbalancedTopologyAssemblesAndRuns) {
   EXPECT_EQ(total.deadline_misses, 0u);
 }
 
+// Staged-assembly misuse: every out-of-order or repeated lifecycle call
+// must come back as a clean Status error, never UB.
+TEST(RuntimeLifecycleTest, FinalizeBeforeInfrastructureIsRefused) {
+  SystemConfig config;
+  SystemRuntime runtime(config, testing::make_imbalanced_workload(1));
+  const Status s = runtime.finalize_deployment();
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("assemble_infrastructure"), std::string::npos);
+  EXPECT_FALSE(runtime.assembled());
+}
+
+TEST(RuntimeLifecycleTest, DoubleAssembleIsRefused) {
+  SystemConfig config;
+  SystemRuntime runtime(config, testing::make_imbalanced_workload(1));
+  ASSERT_TRUE(runtime.assemble().is_ok());
+  const Status again = runtime.assemble();
+  EXPECT_FALSE(again.is_ok());
+  EXPECT_NE(again.message().find("already assembled"), std::string::npos);
+  // The runtime stays usable after the refused second assemble.
+  EXPECT_TRUE(runtime.assembled());
+  EXPECT_TRUE(runtime.inject_arrival(TaskId(0), Time(0)).is_ok());
+}
+
+TEST(RuntimeLifecycleTest, DoubleInfrastructureAssemblyIsRefused) {
+  SystemConfig config;
+  SystemRuntime runtime(config, testing::make_imbalanced_workload(1));
+  ASSERT_TRUE(runtime.assemble_infrastructure().is_ok());
+  EXPECT_FALSE(runtime.assemble_infrastructure().is_ok());
+}
+
+TEST(RuntimeLifecycleTest, InjectOnUnassembledRuntimeIsRefused) {
+  SystemConfig config;
+  SystemRuntime runtime(config, testing::make_imbalanced_workload(1));
+  const Status s = runtime.inject_arrival(TaskId(0), Time(0));
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("not assembled"), std::string::npos);
+  EXPECT_FALSE(
+      runtime.inject_arrivals({{TaskId(0), Time(0)}}).is_ok());
+}
+
+TEST(RuntimeLifecycleTest, InjectUnknownTaskIsRefused) {
+  SystemConfig config;
+  SystemRuntime runtime(config, testing::make_imbalanced_workload(1));
+  ASSERT_TRUE(runtime.assemble().is_ok());
+  const Status s = runtime.inject_arrival(TaskId(999), Time(0));
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.message().find("unknown task"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rtcm::core

@@ -30,8 +30,8 @@ sweep::Grid figure5_grid(int seeds) {
 
 sweep::SweepParams fast_params() {
   sweep::SweepParams params;
-  params.horizon = Duration::seconds(10);
-  params.drain = Duration::seconds(5);
+  params.base.horizon = Duration::seconds(10);
+  params.base.drain = Duration::seconds(5);
   return params;
 }
 
@@ -118,9 +118,9 @@ TEST(SweepEngine, ConfigureHookSeesVariantAxis) {
   grid.seeds = 2;
 
   sweep::SweepParams params = fast_params();
-  params.configure = [](const sweep::Cell& cell,
-                        core::SystemConfig& config) {
-    config.lb_policy = cell.variant;
+  params.specialize = [](const sweep::Cell& cell,
+                         scenario::ScenarioSpec& spec) {
+    spec.config.lb_policy = cell.variant;
   };
 
   const auto results = sweep::run_sweep(grid, params, {});
@@ -139,15 +139,17 @@ TEST(SweepEngine, ConfigureHookSeesVariantAxis) {
 /// simulator/manager pair; "static" cells are the control.
 sweep::SweepParams mode_change_params() {
   sweep::SweepParams params = fast_params();
-  params.reconfig_script =
-      [](const sweep::Cell& cell) -> std::vector<config::ModeChange> {
-    if (cell.variant != "reconfig") return {};
-    return rtcm::testing::ReconfigScriptBuilder()
-        .swap_strategies(Time(Duration::seconds(2).usec()), "J_N_J")
-        .drain(Time(Duration::seconds(3).usec()), 4)
-        .swap_lb_policy(Time(Duration::seconds(4).usec()), "primary")
-        .undrain(Time(Duration::seconds(6).usec()), 4)
-        .build();
+  params.specialize = [](const sweep::Cell& cell,
+                         scenario::ScenarioSpec& spec) {
+    if (cell.variant != "reconfig") return;
+    spec.reconfig = rtcm::testing::ReconfigScriptBuilder()
+                        .swap_strategies(Time(Duration::seconds(2).usec()),
+                                         "J_N_J")
+                        .drain(Time(Duration::seconds(3).usec()), 4)
+                        .swap_lb_policy(Time(Duration::seconds(4).usec()),
+                                        "primary")
+                        .undrain(Time(Duration::seconds(6).usec()), 4)
+                        .build();
   };
   return params;
 }

@@ -13,6 +13,7 @@
 #include "sched/task.h"
 #include "util/rng.h"
 #include "util/time.h"
+#include "workload/burst.h"
 #include "workload/generator.h"
 
 namespace rtcm::testing {
@@ -59,97 +60,18 @@ inline sched::TaskSpec make_aperiodic(std::int32_t id, Duration deadline,
   return make_task(id, sched::TaskKind::kAperiodic, deadline, stages);
 }
 
-// --- Imbalanced multi-processor workloads -----------------------------------
+// --- Workload generators (promoted to src/workload in PR 5) -----------------
 //
-// Parameterized generalization of the paper's §7.2 setup: `primaries`
-// processors host every primary subtask at a per-processor synthetic
-// utilization target, `replicas` further processors host all duplicates.
-// The §7.2 preset is primaries=3, replicas=2, utilization=0.7.
+// The imbalanced-workload and bursty-arrival builders this header used to
+// define now live in workload/generator.h and workload/burst.h so benches,
+// examples and the scenario library share them; these aliases keep the
+// historical rtcm::testing spellings working.
 
-struct ImbalancedShape {
-  std::size_t primaries = 3;
-  std::size_t replicas = 2;
-  double utilization = 0.7;
-  std::size_t periodic_tasks = 5;
-  std::size_t aperiodic_tasks = 4;
-  std::size_t min_subtasks = 1;
-  std::size_t max_subtasks = 3;
-  Duration min_deadline = Duration::milliseconds(250);
-  Duration max_deadline = Duration::seconds(10);
-};
-
-inline workload::WorkloadShape make_imbalanced_shape(
-    const ImbalancedShape& opt = {}) {
-  workload::WorkloadShape shape;
-  for (std::size_t p = 0; p < opt.primaries; ++p) {
-    shape.primary_processors.push_back(
-        ProcessorId(static_cast<std::int32_t>(p)));
-  }
-  for (std::size_t p = 0; p < opt.replicas; ++p) {
-    shape.replica_processors.push_back(
-        ProcessorId(static_cast<std::int32_t>(opt.primaries + p)));
-  }
-  shape.periodic_tasks = opt.periodic_tasks;
-  shape.aperiodic_tasks = opt.aperiodic_tasks;
-  shape.min_subtasks = opt.min_subtasks;
-  shape.max_subtasks = opt.max_subtasks;
-  shape.min_deadline = opt.min_deadline;
-  shape.max_deadline = opt.max_deadline;
-  shape.per_processor_utilization = opt.utilization;
-  shape.replicate = opt.replicas > 0;
-  return shape;
-}
-
-/// Generate a complete imbalanced task set, deterministic in `seed`.
-inline sched::TaskSet make_imbalanced_workload(
-    std::uint64_t seed, const ImbalancedShape& opt = {}) {
-  Rng rng(seed);
-  return workload::generate_workload(make_imbalanced_shape(opt), rng);
-}
-
-// --- Bursty aperiodic arrival traces ----------------------------------------
-//
-// Arrival bursts stress admission control far beyond the Poisson model:
-// `jobs_per_burst` back-to-back arrivals separated by `intra_gap`, with the
-// system left alone for `inter_gap` between bursts.
-
-struct BurstShape {
-  std::size_t bursts = 3;
-  std::size_t jobs_per_burst = 10;
-  Duration intra_gap = Duration::milliseconds(2);
-  Duration inter_gap = Duration::milliseconds(500);
-  Time start = Time(0);
-};
-
-inline std::vector<core::Arrival> make_bursty_arrivals(
-    TaskId task, const BurstShape& shape = {}) {
-  std::vector<core::Arrival> trace;
-  Time t = shape.start;
-  for (std::size_t b = 0; b < shape.bursts; ++b) {
-    for (std::size_t k = 0; k < shape.jobs_per_burst; ++k) {
-      trace.push_back({task, t});
-      t = t + shape.intra_gap;
-    }
-    t = t + shape.inter_gap;
-  }
-  return trace;
-}
-
-/// Interleave bursty traces for several tasks (sorted by time, ties by
-/// injection order) so multi-task overload scenarios stay one-liners.
-inline std::vector<core::Arrival> make_bursty_arrivals(
-    const std::vector<TaskId>& tasks, const BurstShape& shape = {}) {
-  std::vector<core::Arrival> merged;
-  for (const TaskId task : tasks) {
-    const auto trace = make_bursty_arrivals(task, shape);
-    merged.insert(merged.end(), trace.begin(), trace.end());
-  }
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const core::Arrival& a, const core::Arrival& b) {
-                     return a.time < b.time;
-                   });
-  return merged;
-}
+using workload::BurstShape;
+using workload::ImbalancedShape;
+using workload::make_bursty_arrivals;
+using workload::make_imbalanced_shape;
+using workload::make_imbalanced_workload;
 
 // --- Reconfiguration scripts -------------------------------------------------
 //
