@@ -44,6 +44,7 @@ const Variant kVariants[] = {
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   auto options = bench::BenchOptions::from_flags(flags, 8, 60);
+  if (!bench::check_flags(flags, bench::grid_bench_flags())) return 2;
   options.params.specialize = [](const sweep::Cell& cell,
                                  scenario::ScenarioSpec& spec) {
     for (const Variant& v : kVariants) {

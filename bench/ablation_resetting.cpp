@@ -18,6 +18,7 @@ using namespace rtcm;
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto options = bench::BenchOptions::from_flags(flags, 8, 60);
+  if (!bench::check_flags(flags, bench::grid_bench_flags())) return 2;
 
   std::printf(
       "Ablation: resetting-rule benefit vs offered load (Sec 4.3)\n"

@@ -1,0 +1,247 @@
+// Admission throughput at scale: arrivals/sec against 10^3..10^5 resident
+// tasks.
+//
+// The reference admission test re-evaluates Equation (1) for every admitted
+// footprint on every arrival, so per-arrival cost grows with the resident
+// population and a cell stalls long before 10^5 tasks.  The AdmissionIndex
+// (sched/admission_index.h) makes the decision O(candidate footprint x
+// per-processor fan-out) instead.  This bench populates a SchedulingState
+// with N resident two-stage jobs spread over a 256-processor topology, then
+// times the admission decision for a stream of candidate arrivals:
+//
+//   incremental_nN    AdmissionIndex::admission_test (the production path)
+//   full_rescan_nN    current_footprints() + aub_admission_test (the old
+//                     per-arrival rescan, kept as the in-bench baseline and
+//                     as the RTCM_CHECK_ADMISSION_ORACLE cross-check)
+//
+// Times are host wall times (not deterministic), so the report shares only
+// the envelope with the sweep benches: check_bench_regression.py
+// schema-checks it and CI tracks the numbers through artifacts, like
+// sim_micro.  Flags: --arrivals=N --repeats=N --json_out=PATH
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scheduling_state.h"
+#include "sched/aub.h"
+#include "sweep/report.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+using namespace rtcm;
+
+namespace {
+
+constexpr std::size_t kProcessors = 256;
+constexpr std::size_t kStages = 2;
+/// Aggregate synthetic-utilization target per processor once the whole
+/// resident population is admitted; every resident footprint must itself
+/// satisfy Equation (1) — 2 x aub_term(U) <= 1 requires U below
+/// (3 - sqrt(5)) / 2 ~= 0.382 — so the candidate stream keeps being
+/// accepted and both paths do the full amount of checking work.
+constexpr double kTargetUtilization = 0.3;
+
+struct OpResult {
+  std::string name;
+  std::size_t resident = 0;
+  std::uint64_t arrivals = 0;
+  double ns_per_arrival = 0.0;  // best repeat
+  double arrivals_per_sec = 0.0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// A resident task's two distinct processors, deterministic in its index.
+/// Both stages sweep the whole topology uniformly (odd multiplier mod a
+/// power of two is a bijection), so every processor carries exactly the
+/// same load and the population stays inside Equation (1) by construction.
+void pick_processors(std::uint64_t i, ProcessorId* a, ProcessorId* b) {
+  const std::size_t pa = (i * 7 + 3) % kProcessors;
+  const std::size_t pb = (pa + kProcessors / 2) % kProcessors;
+  *a = ProcessorId(pa);
+  *b = ProcessorId(pb);
+}
+
+/// Two-stage spec with per-stage synthetic utilization `u` (C = u * D).
+sched::TaskSpec make_spec(TaskId id, ProcessorId a, ProcessorId b, double u) {
+  sched::TaskSpec spec;
+  spec.id = id;
+  spec.name = "scale";
+  spec.kind = sched::TaskKind::kAperiodic;
+  spec.deadline = Duration::seconds(1);
+  spec.mean_interarrival = Duration::seconds(1);
+  sched::SubtaskSpec first;
+  first.execution = Duration(static_cast<std::int64_t>(
+      u * static_cast<double>(spec.deadline.usec())));
+  first.primary = a;
+  sched::SubtaskSpec second = first;
+  second.primary = b;
+  spec.subtasks = {first, second};
+  return spec;
+}
+
+/// Populate `state` with `resident` admitted two-stage jobs filling every
+/// processor to kTargetUtilization in aggregate.
+void populate(core::SchedulingState& state, std::size_t resident) {
+  const double per_stage = kTargetUtilization * kProcessors /
+                           (kStages * static_cast<double>(resident));
+  for (std::uint64_t i = 0; i < resident; ++i) {
+    ProcessorId a{0};
+    ProcessorId b{0};
+    pick_processors(i, &a, &b);
+    const sched::TaskSpec spec = make_spec(TaskId(i), a, b, per_stage);
+    state.admit_job(spec, JobId(i), {a, b}, Time(Duration::seconds(1).usec()));
+  }
+}
+
+/// Candidate placement for arrival `i`: a fresh two-stage footprint rotating
+/// over the topology, utilization small enough to keep being admitted.
+std::vector<sched::CandidateStage> make_candidate(std::uint64_t i) {
+  ProcessorId a{0};
+  ProcessorId b{0};
+  pick_processors(i * 31 + 17, &a, &b);
+  return {{a, 1e-6}, {b, 1e-6}};
+}
+
+template <typename Op>
+OpResult time_arrivals(std::string name, std::size_t resident, int repeats,
+                       std::uint64_t arrivals, Op op) {
+  OpResult result;
+  result.name = std::move(name);
+  result.resident = resident;
+  result.arrivals = arrivals;
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto started = Clock::now();
+    op(arrivals);
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - started)
+            .count() /
+        static_cast<double>(arrivals);
+    if (r == 0 || ns < best) best = ns;
+  }
+  result.ns_per_arrival = best;
+  result.arrivals_per_sec = 1e9 / best;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const auto arrivals =
+      static_cast<std::uint64_t>(flags.get_int("arrivals", 2000));
+  const int repeats = static_cast<int>(flags.get_int("repeats", 3));
+  const std::string json_out = flags.get_string("json_out", "");
+  if (!bench::check_flags(flags, {"arrivals", "repeats", "json_out"})) {
+    return 2;
+  }
+
+  std::printf(
+      "Admission throughput vs resident-task count\n"
+      "%zu processors, %zu-stage footprints, %.2f aggregate utilization "
+      "per processor,\n%llu timed arrivals (best of %d repeats)\n\n",
+      kProcessors, kStages, kTargetUtilization,
+      static_cast<unsigned long long>(arrivals), repeats);
+
+  std::vector<OpResult> results;
+  std::printf("  %-24s %12s %14s %14s\n", "path", "resident", "ns/arrival",
+              "arrivals/sec");
+
+  // `admitted` guards against the topology silently saturating (which would
+  // make both paths trivially fast and the comparison meaningless).
+  bool all_admitted = true;
+
+  for (const std::size_t resident : {std::size_t{1000}, std::size_t{10000},
+                                     std::size_t{100000}}) {
+    core::SchedulingState state;
+    populate(state, resident);
+
+    const auto incremental = time_arrivals(
+        "incremental_n" + std::to_string(resident), resident, repeats,
+        arrivals, [&](std::uint64_t n) {
+          for (std::uint64_t i = 0; i < n; ++i) {
+            const auto decision = state.admission_index().admission_test(
+                state.ledger(), TaskId(resident + i), make_candidate(i));
+            all_admitted = all_admitted && decision.admitted;
+          }
+        });
+    results.push_back(incremental);
+    std::printf("  %-24s %12zu %14.1f %14.0f\n", "incremental", resident,
+                incremental.ns_per_arrival, incremental.arrivals_per_sec);
+
+    // The old path materializes every footprint and rescans them all, so
+    // each arrival costs O(resident); keep the timed stream short enough
+    // that the bench finishes.
+    const std::uint64_t old_arrivals =
+        std::min<std::uint64_t>(arrivals, resident >= 100000 ? 20
+                                          : resident >= 10000 ? 200
+                                                              : arrivals);
+    const auto full = time_arrivals(
+        "full_rescan_n" + std::to_string(resident), resident, repeats,
+        old_arrivals, [&](std::uint64_t n) {
+          for (std::uint64_t i = 0; i < n; ++i) {
+            const auto footprints = state.current_footprints();
+            const auto decision = sched::aub_admission_test(
+                state.ledger(), TaskId(resident + i), make_candidate(i),
+                footprints);
+            all_admitted = all_admitted && decision.admitted;
+          }
+        });
+    results.push_back(full);
+    std::printf("  %-24s %12zu %14.1f %14.0f   (%.0fx speedup)\n",
+                "full_rescan", resident, full.ns_per_arrival,
+                full.arrivals_per_sec,
+                full.ns_per_arrival / incremental.ns_per_arrival);
+  }
+
+  if (!all_admitted) {
+    std::fprintf(stderr,
+                 "some timed candidate was rejected: the topology saturated "
+                 "and the comparison is meaningless\n");
+    return 1;
+  }
+
+  if (!json_out.empty()) {
+    json::Value doc = json::Value::object();
+    doc.set("schema_version", sweep::kReportSchemaVersion);
+    doc.set("name", "admission_scale");
+    doc.set("git_sha", sweep::git_head_sha());
+    json::Value params = json::Value::object();
+    params.set("processors", static_cast<std::int64_t>(kProcessors));
+    params.set("stages", static_cast<std::int64_t>(kStages));
+    params.set("arrivals", static_cast<std::int64_t>(arrivals));
+    params.set("repeats", static_cast<std::int64_t>(repeats));
+    doc.set("params", params);
+    json::Value operations = json::Value::array();
+    for (const OpResult& r : results) {
+      json::Value entry = json::Value::object();
+      entry.set("name", r.name);
+      entry.set("resident", static_cast<std::int64_t>(r.resident));
+      entry.set("arrivals", static_cast<std::int64_t>(r.arrivals));
+      entry.set("ns_per_arrival", r.ns_per_arrival);
+      entry.set("arrivals_per_sec", r.arrivals_per_sec);
+      operations.push_back(std::move(entry));
+    }
+    doc.set("operations", operations);
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "failed to open %s\n", json_out.c_str());
+      return 1;
+    }
+    const std::string text = doc.dump();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("\nreport written to %s\n", json_out.c_str());
+  }
+  return 0;
+}

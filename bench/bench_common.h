@@ -18,6 +18,29 @@
 
 namespace rtcm::bench {
 
+/// Fail fast on flag problems: rejects flags outside `known` (typo guard —
+/// `--seeeds=3` must not silently run with defaults) and prints every
+/// message the typed getters recorded (malformed values).  Call it after
+/// all getters ran, so their errors are included; returns true when clean.
+[[nodiscard]] inline bool check_flags(const Flags& flags,
+                                      const std::vector<std::string>& known) {
+  flags.reject_unknown(known);
+  for (const std::string& error : flags.errors()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+  }
+  return flags.errors().empty();
+}
+
+/// The flag set every grid bench shares (BenchOptions::from_flags /
+/// for_named_grid), plus per-bench extras.
+[[nodiscard]] inline std::vector<std::string> grid_bench_flags(
+    std::initializer_list<const char*> extra = {}) {
+  std::vector<std::string> known = {"seeds",   "horizon_s", "aperiodic_factor",
+                                    "comm_us", "threads",   "json_out"};
+  known.insert(known.end(), extra.begin(), extra.end());
+  return known;
+}
+
 /// Options shared by every grid bench.  Flags: --seeds=N --horizon_s=N
 /// --aperiodic_factor=F --comm_us=N --threads=N (0 = all cores)
 /// --json_out=PATH (empty = no report file).

@@ -22,6 +22,7 @@ using namespace rtcm;
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto options = bench::BenchOptions::from_flags(flags);
+  if (!bench::check_flags(flags, bench::grid_bench_flags())) return 2;
 
   std::printf(
       "Figure 5: Accepted Utilization Ratio (random workloads, Sec 7.1)\n"

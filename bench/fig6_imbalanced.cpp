@@ -21,6 +21,7 @@ using namespace rtcm;
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const auto options = bench::BenchOptions::from_flags(flags);
+  if (!bench::check_flags(flags, bench::grid_bench_flags())) return 2;
 
   std::printf(
       "Figure 6: LB Strategy Comparison (imbalanced workloads, Sec 7.2)\n"

@@ -12,6 +12,7 @@
 // Flags: --iterations=N --resident_jobs=N --json_out=PATH
 #include <cstdio>
 
+#include "bench_common.h"
 #include "rt/overhead_harness.h"
 #include "sweep/report.h"
 #include "util/flags.h"
@@ -42,6 +43,10 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("iterations", 1000));
   params.resident_jobs =
       static_cast<std::size_t>(flags.get_int("resident_jobs", 12));
+  if (!bench::check_flags(flags,
+                          {"iterations", "resident_jobs", "json_out"})) {
+    return 2;
+  }
 
   std::printf(
       "Figure 8: Service Overheads (Sec 7.3)\n"

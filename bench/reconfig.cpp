@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
   bench::BenchOptions options =
       bench::BenchOptions::from_flags(flags, /*default_seeds=*/10,
                                       /*default_horizon_s=*/100);
+  if (!bench::check_flags(flags, bench::grid_bench_flags())) return 2;
 
   sweep::Grid grid;
   for (const char* combo : {"T_N_N", "T_T_N", "J_J_J"}) {

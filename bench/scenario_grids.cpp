@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
 
   const auto options = bench::BenchOptions::for_named_grid(flags,
                                                            entry.value());
+  if (!bench::check_flags(flags, bench::grid_bench_flags({"grid", "list"}))) {
+    return 2;
+  }
   std::printf("Scenario grid '%s': %s\n%d seeds per cell, horizon %llds\n\n",
               entry.value().name.c_str(), entry.value().title.c_str(),
               options.seeds,

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_common.h"
 #include "sim/processor.h"
 #include "sim/simulator.h"
 #include "sweep/report.h"
@@ -126,6 +127,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(flags.get_int("events", 200000));
   const int repeats = static_cast<int>(flags.get_int("repeats", 5));
   const std::string json_out = flags.get_string("json_out", "");
+  if (!bench::check_flags(flags, {"events", "repeats", "json_out"})) {
+    return 2;
+  }
 
   std::printf(
       "Simulation-kernel micro-benchmarks\n"

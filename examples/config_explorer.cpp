@@ -38,6 +38,14 @@ task archive periodic deadline=5s period=5s
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
+  flags.reject_unknown(
+      {"spec", "q1", "q2", "q3", "q4", "strategies", "print-xml"});
+  if (!flags.errors().empty()) {
+    for (const std::string& error : flags.errors()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    return 2;
+  }
 
   std::string spec = kDefaultSpec;
   if (flags.has("spec")) {

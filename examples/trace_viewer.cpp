@@ -20,6 +20,13 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   const std::string combo_label = flags.get_string("combo", "J_J_T");
   const std::int64_t horizon_ms = flags.get_int("horizon_ms", 600);
+  flags.reject_unknown({"combo", "horizon_ms"});
+  if (!flags.errors().empty()) {
+    for (const std::string& error : flags.errors()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+    }
+    return 2;
+  }
 
   // A deliberately bursty arrival pattern: periodic jobs at 0/200/400 ms,
   // three aperiodic jobs bunched at ~90 ms so one gets rejected.

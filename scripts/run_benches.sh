@@ -18,7 +18,7 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="build"
 REPORT_DIR="bench_reports"
-SCENARIO_GRIDS="bursty,jittered,imbalanced-heavy,drain-storm,long-horizon"
+SCENARIO_GRIDS="bursty,jittered,imbalanced-heavy,drain-storm,long-horizon,huge-topology"
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
@@ -65,6 +65,12 @@ for bench in "${BUILD_DIR}"/bench_*; do
         [[ ${grid_status} -ne 0 ]] && status=${grid_status}
         echo
       done
+      ;;
+    # Micro benches take their own sizing flags, not the sweep set; with
+    # benches failing fast on unknown flags, they only get --json_out.
+    sim_micro|fig8_overheads|admission_scale)
+      "${bench}" "--json_out=${REPORT_DIR}/BENCH_${name}.json"
+      status=$?
       ;;
     *)
       "${bench}" "--json_out=${REPORT_DIR}/BENCH_${name}.json" "$@"

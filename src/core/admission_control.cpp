@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "ccm/container.h"
@@ -18,7 +20,10 @@ using events::TaskArrivePayload;
 
 AdmissionControl::AdmissionControl(const sched::TaskSet& tasks,
                                    MetricsCollector* metrics)
-    : Component(kTypeName), tasks_(tasks), metrics_(metrics) {
+    : Component(kTypeName),
+      tasks_(tasks),
+      metrics_(metrics),
+      check_oracle_(std::getenv("RTCM_CHECK_ADMISSION_ORACLE") != nullptr) {
   declare_event_sink("TaskArrive", EventType::kTaskArrive);
   declare_event_sink("IdleReset", EventType::kIdleReset);
   declare_event_source("Accept", EventType::kAccept);
@@ -203,8 +208,25 @@ sched::AdmissionDecision AdmissionControl::test(
     stages.push_back({placement[j], spec.subtask_utilization(j)});
   }
   ++counters_.admission_tests;
-  const auto decision = sched::aub_admission_test(
-      state_.ledger(), spec.id, stages, state_.current_footprints());
+  const auto decision = state_.admission_index().admission_test(
+      state_.ledger(), spec.id, stages);
+  if (check_oracle_) {
+    // Reference oracle: the pre-index full-task-set rescan must agree on
+    // the decision and on the candidate's own LHS.  (The blocking witness
+    // may legitimately differ when several footprints would fail.)
+    const auto oracle = sched::aub_admission_test(
+        state_.ledger(), spec.id, stages, state_.current_footprints());
+    if (oracle.admitted != decision.admitted ||
+        oracle.candidate_lhs != decision.candidate_lhs) {
+      std::fprintf(stderr,
+                   "RTCM_CHECK_ADMISSION_ORACLE: incremental admission "
+                   "diverged for %s: admitted %d vs %d, lhs %.17g vs %.17g\n",
+                   spec.id.to_string().c_str(), decision.admitted ? 1 : 0,
+                   oracle.admitted ? 1 : 0, decision.candidate_lhs,
+                   oracle.candidate_lhs);
+      std::abort();
+    }
+  }
   context().trace.record_lazy(
       context().sim.now(), sim::TraceKind::kAdmissionTest,
       context().processor, spec.id, JobId(), [&decision] {

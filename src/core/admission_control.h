@@ -142,7 +142,11 @@ class AdmissionControl final : public ccm::Component {
   [[nodiscard]] std::vector<ProcessorId> drain_adjusted(
       const sched::TaskSpec& spec, std::vector<ProcessorId> placement) const;
 
-  /// Run Equation (1) for `spec` placed on `placement`.
+  /// Run Equation (1) for `spec` placed on `placement`, incrementally: only
+  /// footprints intersecting the placement are re-checked (the book's
+  /// AdmissionIndex).  With RTCM_CHECK_ADMISSION_ORACLE set in the
+  /// environment, every decision is cross-checked against the reference
+  /// full-task-set rescan and a mismatch aborts.
   [[nodiscard]] sched::AdmissionDecision test(
       const sched::TaskSpec& spec, const std::vector<ProcessorId>& placement);
 
@@ -163,6 +167,8 @@ class AdmissionControl final : public ccm::Component {
   LbStrategy lb_ = LbStrategy::kNone;
   AperiodicAnalysis analysis_ = AperiodicAnalysis::kAub;
   LocationService* location_ = nullptr;
+  /// RTCM_CHECK_ADMISSION_ORACLE was set when this AC was constructed.
+  bool check_oracle_ = false;
 
   SchedulingState state_;
   /// Frozen plans (LB per Task, periodic tasks), set at first arrival.

@@ -17,6 +17,22 @@ std::vector<sched::TaskFootprint> SchedulingState::current_footprints() const {
   return out;
 }
 
+void SchedulingState::refresh_placement(
+    const std::vector<ProcessorId>& placement) {
+  // Placements are short chains; a linear first-occurrence scan keeps each
+  // distinct processor refreshed exactly once without allocating.
+  for (std::size_t j = 0; j < placement.size(); ++j) {
+    bool seen = false;
+    for (std::size_t i = 0; i < j; ++i) {
+      if (placement[i] == placement[j]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) index_.refresh(placement[j], ledger_);
+  }
+}
+
 void SchedulingState::admit_job(const sched::TaskSpec& spec, JobId job,
                                 std::vector<ProcessorId> placement,
                                 Time absolute_deadline) {
@@ -31,6 +47,8 @@ void SchedulingState::admit_job(const sched::TaskSpec& spec, JobId job,
     admission.contributions.push_back(
         ledger_.add(placement[j], spec.subtask_utilization(j)));
   }
+  refresh_placement(placement);
+  admission.footprint = index_.add_footprint(spec.id, placement, ledger_);
   admission.placement = std::move(placement);
   jobs_.emplace(job, std::move(admission));
 }
@@ -43,9 +61,11 @@ const SchedulingState::JobAdmission* SchedulingState::job(JobId job) const {
 void SchedulingState::expire_job(JobId job) {
   const auto it = jobs_.find(job);
   if (it == jobs_.end()) return;
+  index_.remove_footprint(it->second.footprint);
   for (const sched::ContributionId c : it->second.contributions) {
     (void)ledger_.remove(c);  // stages reset earlier are already gone
   }
+  refresh_placement(it->second.placement);
   jobs_.erase(it);
 }
 
@@ -70,6 +90,10 @@ bool SchedulingState::reset_subjob(JobId job, std::size_t stage) {
   if (stage >= contributions.size()) return false;
   const bool removed = ledger_.remove(contributions[stage]);
   contributions[stage] = sched::ContributionId();
+  // The job's footprint stays registered in full (matching the reference
+  // test, which re-checks the whole placement until expiry); only the
+  // stage's processor total — and so its cached term — changed.
+  if (removed) index_.refresh(it->second.placement[stage], ledger_);
   return removed;
 }
 
@@ -84,6 +108,8 @@ void SchedulingState::reserve_task(const sched::TaskSpec& spec,
     reservation.contributions.push_back(
         ledger_.add(placement[j], spec.subtask_utilization(j)));
   }
+  refresh_placement(placement);
+  reservation.footprint = index_.add_footprint(spec.id, placement, ledger_);
   reservation.placement = std::move(placement);
   reservations_.emplace(spec.id, std::move(reservation));
 }
@@ -99,10 +125,12 @@ std::vector<ProcessorId> SchedulingState::release_reservation(
   const auto it = reservations_.find(spec.id);
   assert(it != reservations_.end() &&
          "releasing a reservation that is not held");
+  index_.remove_footprint(it->second.footprint);
   for (const sched::ContributionId c : it->second.contributions) {
     (void)ledger_.remove(c);
   }
   std::vector<ProcessorId> placement = std::move(it->second.placement);
+  refresh_placement(placement);
   reservations_.erase(it);
   return placement;
 }

@@ -5,8 +5,10 @@
 //     job's absolute deadline or earlier via idle resetting;
 //   - per-task reservations (AC per Task): contributions held for the
 //     task's whole lifetime, immune to idle resetting;
-//   - the footprints of everything currently admitted, which the AUB
-//     admission test must re-check when a new candidate arrives.
+//   - the footprints of everything currently admitted, mirrored into an
+//     incremental AdmissionIndex so an arrival only re-tests the footprints
+//     its placement intersects (sched/admission_index.h).  The full
+//     footprint list stays available for the reference-oracle test.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "sched/admission_index.h"
 #include "sched/aub.h"
 #include "sched/task.h"
 #include "sched/utilization_ledger.h"
@@ -31,20 +34,31 @@ class SchedulingState {
     Time absolute_deadline;
     /// One handle per stage (invalid after that stage was reset).
     std::vector<sched::ContributionId> contributions;
+    sched::FootprintId footprint;
   };
 
   struct TaskReservation {
     TaskId task;
     std::vector<ProcessorId> placement;
     std::vector<sched::ContributionId> contributions;
+    sched::FootprintId footprint;
   };
 
   [[nodiscard]] const sched::UtilizationLedger& ledger() const {
     return ledger_;
   }
 
+  /// The incremental admission aggregates, kept in lockstep with the ledger
+  /// by every mutator below; AdmissionControl runs Equation (1) against
+  /// this instead of rescanning current_footprints().
+  [[nodiscard]] const sched::AdmissionIndex& admission_index() const {
+    return index_;
+  }
+
   /// Footprints of every admitted-and-unexpired job plus every reservation,
-  /// as Equation (1) must keep holding for all of them.
+  /// as Equation (1) must keep holding for all of them.  The incremental
+  /// path never materializes this list; it feeds the reference oracle and
+  /// the reconfiguration engine's scans.
   [[nodiscard]] std::vector<sched::TaskFootprint> current_footprints() const;
 
   // --- Per-job admissions --------------------------------------------------
@@ -81,6 +95,7 @@ class SchedulingState {
   /// the processors but are not themselves subject to Equation (1)).
   void add_background(ProcessorId proc, double utilization) {
     (void)ledger_.add(proc, utilization);
+    index_.refresh(proc, ledger_);
   }
 
   // --- Per-task reservations (AC per Task) ---------------------------------
@@ -107,7 +122,12 @@ class SchedulingState {
   std::vector<ProcessorId> release_reservation(const sched::TaskSpec& spec);
 
  private:
+  /// Push the term deltas of every distinct processor in `placement` into
+  /// the index after their ledger totals changed.
+  void refresh_placement(const std::vector<ProcessorId>& placement);
+
   sched::UtilizationLedger ledger_;
+  sched::AdmissionIndex index_;
   std::map<JobId, JobAdmission> jobs_;
   std::map<TaskId, TaskReservation> reservations_;
 };

@@ -155,6 +155,30 @@ NamedGrid long_horizon_entry() {
   return entry;
 }
 
+NamedGrid huge_topology_entry() {
+  NamedGrid entry;
+  entry.name = "huge-topology";
+  entry.title =
+      "64 primary + 16 replica processors, 240 tasks (admission-index scale "
+      "check beyond the paper's 5-node runs)";
+  entry.grid.combos = combos({"T_N_N", "J_N_J", "J_J_J"});
+  workload::WorkloadShape shape;
+  for (std::size_t p = 0; p < 64; ++p) {
+    shape.primary_processors.push_back(ProcessorId(p));
+  }
+  for (std::size_t p = 64; p < 80; ++p) {
+    shape.replica_processors.push_back(ProcessorId(p));
+  }
+  shape.periodic_tasks = 120;
+  shape.aperiodic_tasks = 120;
+  shape.min_subtasks = 1;
+  shape.max_subtasks = 3;
+  entry.grid.shapes = {{"huge-64p", shape}};
+  entry.grid.seeds = 3;
+  entry.params.base.horizon = Duration::seconds(30);
+  return entry;
+}
+
 }  // namespace
 
 std::vector<NamedGrid> library() {
@@ -166,6 +190,7 @@ std::vector<NamedGrid> library() {
   entries.push_back(imbalanced_heavy_entry());
   entries.push_back(drain_storm_entry());
   entries.push_back(long_horizon_entry());
+  entries.push_back(huge_topology_entry());
   return entries;
 }
 

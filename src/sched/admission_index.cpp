@@ -1,0 +1,239 @@
+#include "sched/admission_index.h"
+
+#include <cassert>
+
+namespace rtcm::sched {
+
+namespace {
+
+/// Cached-term form of the lhs_with_overlay() saturation guard: a processor
+/// at (or numerically beyond) full utilization carries the sentinel.
+bool is_saturated(double total) { return total >= 1.0 - kAubEpsilon; }
+
+double term_of(double total) {
+  return is_saturated(total) ? kAubUnsatisfiable : aub_term(total);
+}
+
+/// The candidate's tentative additions, deduplicated by processor.  Stage
+/// counts are single digits, so linear scans beat hashing here.
+struct Overlay {
+  struct Entry {
+    ProcessorId proc;
+    double amount = 0.0;
+  };
+  std::vector<Entry> entries;
+
+  void add(ProcessorId proc, double amount) {
+    for (Entry& e : entries) {
+      if (e.proc == proc) {
+        e.amount += amount;
+        return;
+      }
+    }
+    entries.push_back({proc, amount});
+  }
+
+  [[nodiscard]] const double* find(ProcessorId proc) const {
+    for (const Entry& e : entries) {
+      if (e.proc == proc) return &e.amount;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+void AdmissionIndex::Footprint::accumulate(double x) {
+  const double y = x - lhs_comp;
+  const double t = lhs + y;
+  lhs_comp = (t - lhs) - y;
+  lhs = t;
+}
+
+const AdmissionIndex::Visit* AdmissionIndex::Footprint::visit(
+    ProcessorId proc) const {
+  for (const Visit& v : visits) {
+    if (v.proc == proc) return &v;
+  }
+  return nullptr;
+}
+
+FootprintId AdmissionIndex::add_footprint(
+    TaskId task, const std::vector<ProcessorId>& processors,
+    const UtilizationLedger& ledger) {
+  const std::uint64_t key = next_id_++;
+  Footprint footprint;
+  footprint.task = task;
+  for (const ProcessorId proc : processors) {
+    assert(proc.valid());
+    bool merged = false;
+    for (Visit& v : footprint.visits) {
+      if (v.proc == proc) {
+        ++v.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) footprint.visits.push_back({proc, 1, 0});
+  }
+  for (Visit& v : footprint.visits) {
+    auto [it, inserted] = procs_.try_emplace(v.proc);
+    ProcEntry& entry = it->second;
+    if (inserted) {
+      const double total = ledger.total(v.proc);
+      entry.term = term_of(total);
+      entry.saturated = is_saturated(total);
+    }
+    v.member_slot = static_cast<std::uint32_t>(entry.members.size());
+    entry.members.push_back(key);
+    if (entry.saturated) {
+      footprint.saturated += v.count;
+    } else {
+      footprint.accumulate(v.count * entry.term);
+    }
+  }
+  footprints_.emplace(key, std::move(footprint));
+  return FootprintId(key);
+}
+
+void AdmissionIndex::remove_footprint(FootprintId id) {
+  if (!id.valid()) return;
+  const auto it = footprints_.find(id.v_);
+  if (it == footprints_.end()) return;
+  for (const Visit& v : it->second.visits) {
+    const auto pit = procs_.find(v.proc);
+    assert(pit != procs_.end());
+    std::vector<std::uint64_t>& members = pit->second.members;
+    assert(v.member_slot < members.size() &&
+           members[v.member_slot] == it->first);
+    const std::uint64_t moved = members.back();
+    members[v.member_slot] = moved;
+    members.pop_back();
+    if (moved != it->first) {
+      // Fix the swapped-in footprint's back-pointer for this processor.
+      Footprint& other = footprints_.at(moved);
+      for (Visit& ov : other.visits) {
+        if (ov.proc == v.proc) {
+          ov.member_slot = v.member_slot;
+          break;
+        }
+      }
+    }
+    if (members.empty()) procs_.erase(pit);
+  }
+  footprints_.erase(it);
+}
+
+void AdmissionIndex::refresh(ProcessorId proc,
+                             const UtilizationLedger& ledger) {
+  const auto pit = procs_.find(proc);
+  if (pit == procs_.end()) return;
+  ProcEntry& entry = pit->second;
+  const double total = ledger.total(proc);
+  const double new_term = term_of(total);
+  const bool new_saturated = is_saturated(total);
+  if (new_term == entry.term && new_saturated == entry.saturated) return;
+  for (const std::uint64_t key : entry.members) {
+    Footprint& footprint = footprints_.at(key);
+    const Visit* v = footprint.visit(proc);
+    assert(v != nullptr);
+    const double count = static_cast<double>(v->count);
+    if (entry.saturated && !new_saturated) {
+      footprint.saturated -= v->count;
+      footprint.accumulate(count * new_term);
+    } else if (!entry.saturated && new_saturated) {
+      footprint.saturated += v->count;
+      footprint.accumulate(-count * entry.term);
+    } else if (!new_saturated) {
+      footprint.accumulate(count * (new_term - entry.term));
+    }
+  }
+  entry.term = new_term;
+  entry.saturated = new_saturated;
+}
+
+double AdmissionIndex::cached_lhs(FootprintId id) const {
+  const auto it = footprints_.find(id.v_);
+  assert(it != footprints_.end());
+  if (it == footprints_.end()) return 0.0;
+  return it->second.saturated > 0 ? kAubUnsatisfiable : it->second.lhs;
+}
+
+std::size_t AdmissionIndex::fanout(ProcessorId proc) const {
+  const auto it = procs_.find(proc);
+  return it == procs_.end() ? 0 : it->second.members.size();
+}
+
+AdmissionDecision AdmissionIndex::admission_test(
+    const UtilizationLedger& ledger, TaskId candidate,
+    const std::vector<CandidateStage>& stages) const {
+  AdmissionDecision decision;
+
+  Overlay overlay;
+  for (const CandidateStage& s : stages) {
+    assert(s.processor.valid());
+    assert(s.utilization >= 0.0);
+    overlay.add(s.processor, s.utilization);
+  }
+
+  // The candidate itself, with the same per-stage arithmetic as the
+  // reference aub_admission_test (so candidate_lhs is bit-identical).
+  double candidate_lhs = 0.0;
+  for (const CandidateStage& s : stages) {
+    const double u = ledger.total(s.processor) + *overlay.find(s.processor);
+    if (u >= 1.0 - kAubEpsilon) {
+      candidate_lhs = kAubUnsatisfiable;
+      break;
+    }
+    candidate_lhs += aub_term(u);
+  }
+  decision.candidate_lhs = candidate_lhs;
+  if (candidate_lhs > 1.0 + kAubEpsilon) {
+    decision.admitted = false;
+    decision.blocking_task = candidate;
+    return decision;
+  }
+
+  // Only footprints sharing a processor with the candidate can change LHS;
+  // everything else passed when it was last affected and is bitwise
+  // unchanged by this overlay.
+  ++round_;
+  for (const Overlay::Entry& o : overlay.entries) {
+    const auto pit = procs_.find(o.proc);
+    if (pit == procs_.end()) continue;
+    for (const std::uint64_t key : pit->second.members) {
+      const Footprint& footprint = footprints_.at(key);
+      if (footprint.round == round_) continue;
+      footprint.round = round_;
+      double lhs;
+      if (footprint.saturated > 0) {
+        lhs = kAubUnsatisfiable;
+      } else {
+        // Cached partial, with the overlaid processors' terms swapped for
+        // their tentative values: O(footprint ∩ candidate) per footprint.
+        lhs = footprint.lhs;
+        for (const Visit& v : footprint.visits) {
+          const double* amount = overlay.find(v.proc);
+          if (amount == nullptr) continue;
+          const double u = ledger.total(v.proc) + *amount;
+          if (u >= 1.0 - kAubEpsilon) {
+            lhs = kAubUnsatisfiable;
+            break;
+          }
+          lhs += v.count * (aub_term(u) - procs_.at(v.proc).term);
+        }
+      }
+      if (lhs > 1.0 + kAubEpsilon) {
+        decision.admitted = false;
+        decision.failed_on_existing = true;
+        decision.blocking_task = footprint.task;
+        return decision;
+      }
+    }
+  }
+
+  decision.admitted = true;
+  return decision;
+}
+
+}  // namespace rtcm::sched

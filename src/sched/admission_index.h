@@ -1,0 +1,132 @@
+// Incremental AUB admission aggregates.
+//
+// The reference admission test (sched/aub.h) re-evaluates Equation (1) for
+// *every* admitted footprint on *every* arrival, so per-arrival cost grows
+// O(task set x footprint) and a cell stalls long before 10^5 resident
+// tasks.  The condition only depends on per-processor synthetic-utilization
+// totals, so almost all of that rescan is redundant: a candidate can only
+// change the LHS of footprints that share a processor with it.
+//
+// This index maintains, on top of the ledger's totals:
+//   - per-processor aUB-term aggregates: aub_term(U_p), recomputed exactly
+//     once whenever a processor's total changes;
+//   - an inverted processor -> footprints map, so the footprints affected
+//     by a candidate are found in O(candidate footprint), not O(task set);
+//   - per-footprint cached LHS partials (compensated sums of count x term
+//     over the footprint's distinct processors), updated by delta when a
+//     visited processor's term changes.
+//
+// admission_test() then evaluates Equation (1) for the candidate plus only
+// the affected footprints.  Skipping the rest is sound because the book of
+// record preserves the invariant "every registered footprint satisfies
+// Equation (1)": admissions re-check every footprint they affect, removals
+// only lower totals (aub_term is monotone), and an untouched footprint's
+// LHS is bitwise unchanged by a candidate that shares no processor with it.
+// The reference test remains available as a cross-check oracle
+// (RTCM_CHECK_ADMISSION_ORACLE in core/admission_control.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/aub.h"
+#include "sched/utilization_ledger.h"
+#include "util/ids.h"
+
+namespace rtcm::sched {
+
+/// Opaque handle for one registered footprint.  Default-constructed handles
+/// are inert.
+class FootprintId {
+ public:
+  constexpr FootprintId() = default;
+  [[nodiscard]] constexpr bool valid() const { return v_ != 0; }
+  constexpr auto operator<=>(const FootprintId&) const = default;
+
+ private:
+  friend class AdmissionIndex;
+  constexpr explicit FootprintId(std::uint64_t v) : v_(v) {}
+  std::uint64_t v_ = 0;
+};
+
+class AdmissionIndex {
+ public:
+  /// Register an admitted footprint (the ledger contributions for it must
+  /// already be in place and refresh()ed, so the cached partials are built
+  /// from current terms).  Repeated processors are allowed and weigh the
+  /// per-visit terms accordingly, exactly like aub_lhs().
+  [[nodiscard]] FootprintId add_footprint(
+      TaskId task, const std::vector<ProcessorId>& processors,
+      const UtilizationLedger& ledger);
+
+  /// Unregister a footprint (idempotent for inert handles).
+  void remove_footprint(FootprintId id);
+
+  /// Re-sync the cached aUB term of `proc` after its ledger total changed,
+  /// pushing the term delta into every member footprint's cached LHS.
+  /// O(footprints touching proc); a no-op for processors no footprint
+  /// visits (their terms are computed on demand by admission_test).
+  void refresh(ProcessorId proc, const UtilizationLedger& ledger);
+
+  /// Equation (1) for `candidate` placed per `stages`, re-checked only for
+  /// the footprints whose processors intersect the candidate's.  Decision-
+  /// equivalent to aub_admission_test() over all registered footprints
+  /// (blocking_task may name a different witness when several would fail).
+  [[nodiscard]] AdmissionDecision admission_test(
+      const UtilizationLedger& ledger, TaskId candidate,
+      const std::vector<CandidateStage>& stages) const;
+
+  /// Cached LHS of a registered footprint at the current ledger totals
+  /// (kAubUnsatisfiable when it visits a saturated processor).  The
+  /// property tests compare this against a fresh aub_lhs() recompute.
+  [[nodiscard]] double cached_lhs(FootprintId id) const;
+
+  /// Number of registered footprints.
+  [[nodiscard]] std::size_t footprint_count() const {
+    return footprints_.size();
+  }
+
+  /// Footprints registered on one processor (the inverted-index fan-out a
+  /// candidate stage there would have to re-test).
+  [[nodiscard]] std::size_t fanout(ProcessorId proc) const;
+
+ private:
+  struct Visit {
+    ProcessorId proc;
+    std::uint32_t count = 0;        // visits of this footprint to proc
+    std::uint32_t member_slot = 0;  // position in ProcEntry::members
+  };
+
+  struct Footprint {
+    TaskId task;
+    std::vector<Visit> visits;  // one entry per distinct processor
+    /// Compensated (Kahan) sum of count x term over non-saturated visited
+    /// processors, so delta updates stay within recompute tolerance over
+    /// arbitrarily long add/remove/reset interleavings.
+    double lhs = 0.0;
+    double lhs_comp = 0.0;
+    /// Visit weight on saturated processors; nonzero means the LHS is
+    /// kAubUnsatisfiable regardless of the finite partials.
+    std::uint32_t saturated = 0;
+    /// admission_test() round marker, so a footprint spanning several of
+    /// the candidate's processors is tested once per arrival.
+    mutable std::uint64_t round = 0;
+
+    void accumulate(double x);
+    [[nodiscard]] const Visit* visit(ProcessorId proc) const;
+  };
+
+  struct ProcEntry {
+    double term = 0.0;  // aub_term(total), or kAubUnsatisfiable
+    bool saturated = false;
+    std::vector<std::uint64_t> members;  // footprint keys touching proc
+  };
+
+  std::uint64_t next_id_ = 1;
+  mutable std::uint64_t round_ = 0;
+  std::unordered_map<std::uint64_t, Footprint> footprints_;
+  std::unordered_map<ProcessorId, ProcEntry> procs_;
+};
+
+}  // namespace rtcm::sched

@@ -7,17 +7,13 @@
 namespace rtcm::sched {
 
 namespace {
-// Small tolerance so boundary workloads (LHS exactly 1) admit cleanly in the
-// presence of floating-point rounding.
-constexpr double kEpsilon = 1e-9;
-// A processor at (or numerically beyond) full utilization can never satisfy
-// the bound; report a sentinel comfortably above 1.
-constexpr double kUnsatisfiable = 1e9;
+constexpr double kEpsilon = kAubEpsilon;
+constexpr double kUnsatisfiable = kAubUnsatisfiable;
 }  // namespace
 
 double aub_term(double u) {
   assert(u >= 0.0);
-  assert(u < 1.0);
+  if (u >= 1.0) return kUnsatisfiable;
   return u * (1.0 - u / 2.0) / (1.0 - u);
 }
 

@@ -21,6 +21,13 @@
 
 namespace rtcm::sched {
 
+/// Tolerance on the Equation (1) comparison, so boundary workloads (LHS
+/// exactly 1) admit cleanly in the presence of floating-point rounding.
+inline constexpr double kAubEpsilon = 1e-9;
+/// Sentinel LHS for a footprint visiting a processor at (or numerically
+/// beyond) full utilization: such a footprint can never satisfy the bound.
+inline constexpr double kAubUnsatisfiable = 1e9;
+
 /// One admitted task's visit list, as the admission test needs to re-check it.
 struct TaskFootprint {
   TaskId task;
@@ -34,7 +41,10 @@ struct CandidateStage {
   double utilization = 0.0;
 };
 
-/// Per-stage term of Equation (1); requires u in [0, 1).
+/// Per-stage term of Equation (1) for u in [0, 1).  A saturated processor
+/// (u >= 1) yields the kAubUnsatisfiable sentinel instead of evaluating the
+/// formula: the denominator (1 - u) would be zero or negative and a Release
+/// build would silently produce a garbage (negative) LHS.
 [[nodiscard]] double aub_term(double u);
 
 /// Left-hand side of Equation (1) for a footprint against given totals.

@@ -22,12 +22,20 @@ bool UtilizationLedger::remove(ContributionId id) {
   const ProcessorId proc = it->second.proc;
   auto& total = totals_[proc];
   total -= it->second.amount;
-  // Guard against accumulated floating-point drift: totals never go
-  // negative, and a processor whose last live contribution is removed is
-  // snapped to exactly zero (drift residue would otherwise leak into later
-  // admission tests and quiescence checks).
   const std::size_t remaining = --live_counts_[proc];
-  if (remaining == 0 || total < 0.0) total = 0.0;
+  if (remaining == 0) {
+    // A processor whose last live contribution is removed snaps to exactly
+    // zero (drift residue would otherwise leak into later admission tests
+    // and quiescence checks).
+    total = 0.0;
+  } else if (total < 0.0) {
+    // With live contributions remaining, the total can only dip below zero
+    // by accumulated floating-point drift; a real negative means an
+    // accounting bug (e.g. removing a different amount than was added),
+    // which unconditional snapping used to mask.
+    assert(total > -1e-9 && "ledger total negative with live contributions");
+    total = 0.0;
+  }
   entries_.erase(it);
   return true;
 }

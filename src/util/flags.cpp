@@ -29,6 +29,21 @@ Flags Flags::parse(int argc, const char* const* argv) {
   return flags;
 }
 
+void Flags::reject_unknown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    bool recognized = false;
+    for (const std::string& k : known) {
+      if (name == k) {
+        recognized = true;
+        break;
+      }
+    }
+    if (!recognized) {
+      errors_.push_back("unknown flag --" + name);
+    }
+  }
+}
+
 bool Flags::has(const std::string& name) const {
   return values_.count(name) > 0;
 }

@@ -35,6 +35,10 @@ class Flags {
     return errors_;
   }
 
+  /// Record an error for every parsed flag not in `known`, so a typo like
+  /// --seeeds=3 fails fast instead of silently running with defaults.
+  void reject_unknown(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

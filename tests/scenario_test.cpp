@@ -482,10 +482,46 @@ TEST(ScenarioLibrary, EveryEntryRunsCleanAndDeterministically) {
   }
 }
 
+TEST(ScenarioLibrary, HugeTopologyRunsCleanAndDeterministically) {
+  // The admission-index scale entry: 80 processors and 240 tasks per cell —
+  // far beyond the paper's 5-node runs.  One seed, shortened horizon; the
+  // run must stay error-free, exercise real admission traffic, and remain
+  // byte-deterministic across thread counts (the incremental index must
+  // not introduce any ordering sensitivity).
+  const auto entry = scenario::find_grid("huge-topology");
+  ASSERT_TRUE(entry.is_ok());
+  sweep::Grid grid = entry.value().grid;
+  grid.seeds = 1;
+  sweep::SweepParams params = entry.value().params;
+  params.base.horizon = Duration::seconds(10);
+  params.base.drain = Duration::seconds(2);
+
+  sweep::SweepOptions single;
+  single.threads = 1;
+  sweep::SweepOptions sharded;
+  sharded.threads = 2;
+  const auto serial = sweep::run_sweep(grid, params, single);
+  const auto parallel = sweep::run_sweep(grid, params, sharded);
+  ASSERT_EQ(serial.size(), grid.cells().size());
+  for (const auto& cell : serial) {
+    ASSERT_TRUE(cell.error.empty()) << cell.error;
+    EXPECT_GT(cell.accept_ratio, 0.0) << cell.cell.combo;
+    EXPECT_LE(cell.accept_ratio, 1.0) << cell.cell.combo;
+  }
+  sweep::Report a;
+  a.name = entry.value().name;
+  a.cells = serial;
+  sweep::Report b;
+  b.name = entry.value().name;
+  b.cells = parallel;
+  EXPECT_EQ(a.deterministic_dump(), b.deterministic_dump());
+}
+
 TEST(ScenarioLibrary, FindGridReportsKnownNames) {
   EXPECT_TRUE(scenario::find_grid("bursty").is_ok());
   EXPECT_TRUE(scenario::find_grid("drain-storm").is_ok());
   EXPECT_TRUE(scenario::find_grid("long-horizon").is_ok());
+  EXPECT_TRUE(scenario::find_grid("huge-topology").is_ok());
   const auto missing = scenario::find_grid("fig7");
   EXPECT_FALSE(missing.is_ok());
   EXPECT_NE(missing.message().find("fig5"), std::string::npos);

@@ -76,6 +76,22 @@ TEST(LedgerTest, DrainedProcessorTotalIsExactlyZero) {
   EXPECT_DOUBLE_EQ(ledger.total(ProcessorId(1)), 0.0);
 }
 
+TEST(LedgerTest, MidFlightRemovalKeepsResidualTotal) {
+  UtilizationLedger ledger;
+  // Removing a contribution while others stay live must leave the exact
+  // residual — the exact-zero snap applies only when the *last* live
+  // contribution on the processor goes away.  (A snap-to-zero here would
+  // erase live utilization and let unsound admissions through.)
+  const auto small = ledger.add(ProcessorId(0), 0.3);
+  const auto large = ledger.add(ProcessorId(0), 0.4);
+  EXPECT_TRUE(ledger.remove(large));
+  EXPECT_NEAR(ledger.total(ProcessorId(0)), 0.3, 1e-12);
+  EXPECT_GT(ledger.total(ProcessorId(0)), 0.0);
+  EXPECT_EQ(ledger.live(), 1u);
+  EXPECT_TRUE(ledger.remove(small));
+  EXPECT_DOUBLE_EQ(ledger.total(ProcessorId(0)), 0.0);
+}
+
 TEST(LedgerTest, ProcessorsListsNonZero) {
   UtilizationLedger ledger;
   (void)ledger.add(ProcessorId(3), 0.1);
@@ -94,6 +110,17 @@ TEST(AubTermTest, KnownValues) {
   EXPECT_DOUBLE_EQ(aub_term(0.5), 0.75);
   // At U = 2/3: (2/3)(2/3)/(1/3) = 4/3.
   EXPECT_NEAR(aub_term(2.0 / 3.0), 4.0 / 3.0, 1e-12);
+}
+
+TEST(AubTermTest, SaturatedUtilizationYieldsSentinelNotGarbage) {
+  // At u >= 1 the formula's denominator (1 - u) is zero or negative; a
+  // Release build used to divide through and produce a garbage (negative)
+  // LHS that could admit an unschedulable task.  The guard must be a real
+  // branch, not an assert.
+  EXPECT_EQ(aub_term(1.0), kAubUnsatisfiable);
+  EXPECT_EQ(aub_term(1.5), kAubUnsatisfiable);
+  EXPECT_EQ(aub_term(100.0), kAubUnsatisfiable);
+  EXPECT_GT(aub_term(1.0), 1.0);  // unsatisfiable under Equation (1)
 }
 
 TEST(AubTermTest, MonotonicallyIncreasing) {
