@@ -36,14 +36,17 @@ namespace rtcm::bench {
 [[nodiscard]] inline std::vector<std::string> grid_bench_flags(
     std::initializer_list<const char*> extra = {}) {
   std::vector<std::string> known = {"seeds",   "horizon_s", "aperiodic_factor",
-                                    "comm_us", "threads",   "json_out"};
+                                    "comm_us", "threads",   "json_out",
+                                    "shard"};
   known.insert(known.end(), extra.begin(), extra.end());
   return known;
 }
 
 /// Options shared by every grid bench.  Flags: --seeds=N --horizon_s=N
 /// --aperiodic_factor=F --comm_us=N --threads=N (0 = all cores)
-/// --json_out=PATH (empty = no report file).
+/// --shard=K/N (run the K-th of N disjoint partitions of the grid's
+/// canonical cell order; reports merge back via `bench_scenario_grids
+/// --merge`) --json_out=PATH (empty = no report file).
 struct BenchOptions {
   int seeds = 10;
   /// Override for every grid shape's aperiodic interarrival factor; only
@@ -71,6 +74,7 @@ struct BenchOptions {
     options.sweep.threads =
         static_cast<std::size_t>(flags.get_int("threads", 0));
     options.json_out = flags.get_string("json_out", "");
+    apply_shard_flag(flags, options);
     return options;
   }
 
@@ -97,7 +101,20 @@ struct BenchOptions {
     options.sweep.threads =
         static_cast<std::size_t>(flags.get_int("threads", 0));
     options.json_out = flags.get_string("json_out", "");
+    apply_shard_flag(flags, options);
     return options;
+  }
+
+ private:
+  static void apply_shard_flag(const Flags& flags, BenchOptions& options) {
+    if (!flags.has("shard")) return;
+    const auto shard = sweep::Shard::parse(flags.get_string("shard", "1/1"));
+    if (!shard.is_ok()) {
+      // Surfaces through check_flags() like any other malformed value.
+      flags.record_error(shard.message());
+      return;
+    }
+    options.params.shard = shard.value();
   }
 };
 
@@ -118,6 +135,15 @@ inline sweep::Report run_grid(const std::string& name,
   sweep::Report report;
   report.name = name;
   report.git_sha = sweep::git_head_sha();
+  report.shard = options.params.shard;
+  if (report.shard.count > 1) {
+    std::printf("shard %s: %zu of %zu grid cells\n\n",
+                report.shard.label().c_str(),
+                sweep::shard_indices(sized_grid.cells().size(),
+                                     report.shard)
+                    .size(),
+                sized_grid.cells().size());
+  }
   report.params.set("seeds", options.seeds);
   report.params.set(
       "horizon_s",

@@ -20,6 +20,15 @@ Two classes of regression are detected:
 
 Reports without a "cells" section (e.g. fig8_overheads) get a schema check
 only.  Exit codes: 0 = OK, 1 = regression found, 2 = usage / IO error.
+
+Cross-profile safety: a report's "params" block records the run parameters
+(seeds, horizon, ...).  When baseline and candidate were collected with
+different parameters, their cells describe different simulations and any
+"drift" would be noise — such report pairs are skipped with a note (the
+thread count is excluded: cell results are thread-count-invariant).  Use
+--cells=subset when the candidate is a deliberate slice of the baseline
+grid (e.g. a PR gate running one shard of the nightly profile): baseline
+cells absent from the candidate then become a note instead of a failure.
 """
 
 import argparse
@@ -27,7 +36,8 @@ import json
 import pathlib
 import sys
 
-SCHEMA_VERSION = 1
+MIN_SCHEMA_VERSION = 1
+MAX_SCHEMA_VERSION = 2
 
 
 def load_reports(path):
@@ -57,10 +67,14 @@ def load_reports(path):
                 print(f"note: {f} is not a sweep report; skipping")
                 continue
             sys.exit(f"error: {f} has no report name")
-        if doc.get("schema_version") != SCHEMA_VERSION:
+        schema = doc.get("schema_version")
+        if (
+            not isinstance(schema, int)
+            or not MIN_SCHEMA_VERSION <= schema <= MAX_SCHEMA_VERSION
+        ):
             sys.exit(
-                f"error: {f} has schema_version "
-                f"{doc.get('schema_version')!r}, expected {SCHEMA_VERSION}"
+                f"error: {f} has schema_version {schema!r}, expected "
+                f"{MIN_SCHEMA_VERSION}..{MAX_SCHEMA_VERSION}"
             )
         reports[name] = doc
     if not reports:
@@ -77,7 +91,18 @@ def cell_key(cell):
     )
 
 
-def compare_report(name, base, cand, eps, walltime_pct):
+def comparable_params(doc):
+    """The report params that must match for cell comparisons to make
+    sense.  The thread count is excluded: per-cell isolation makes results
+    thread-count-invariant, so a 4-core runner can gate an all-core
+    baseline."""
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        return {}
+    return {k: v for k, v in params.items() if k != "threads"}
+
+
+def compare_report(name, base, cand, eps, walltime_pct, cells_mode):
     """Return a list of human-readable failure strings."""
     failures = []
     base_cells = {cell_key(c): c for c in base.get("cells", [])}
@@ -87,7 +112,12 @@ def compare_report(name, base, cand, eps, walltime_pct):
         return failures  # envelope-only report (fig8): schema check only
 
     missing = sorted(set(base_cells) - set(cand_cells))
-    if missing:
+    if missing and cells_mode == "subset":
+        print(
+            f"note: {name}: candidate covers {len(base_cells) - len(missing)}"
+            f" of {len(base_cells)} baseline cells (--cells=subset)"
+        )
+    elif missing:
         failures.append(
             f"{name}: {len(missing)} baseline cell(s) missing from "
             f"candidate (first: {missing[0]}); was the grid changed?"
@@ -102,6 +132,10 @@ def compare_report(name, base, cand, eps, walltime_pct):
     drifted = 0
     first_drift = None
     matched = sorted(set(base_cells) & set(cand_cells))
+    if not matched:
+        failures.append(
+            f"{name}: no cells in common between baseline and candidate"
+        )
     for key in matched:
         b, c = base_cells[key], cand_cells[key]
         ratio_delta = abs(
@@ -160,6 +194,14 @@ def main():
         default=25.0,
         help="tolerated wall-time growth in percent (default: %(default)s)",
     )
+    parser.add_argument(
+        "--cells",
+        choices=("exact", "subset"),
+        default="exact",
+        help="exact: every baseline cell must appear in the candidate; "
+        "subset: the candidate may cover a slice of the baseline grid, "
+        "e.g. one --shard of it (default: %(default)s)",
+    )
     args = parser.parse_args()
 
     base_reports = load_reports(args.baseline)
@@ -171,6 +213,15 @@ def main():
         if name not in cand_reports:
             print(f"note: report {name} absent from candidate set; skipping")
             continue
+        base_params = comparable_params(base_reports[name])
+        cand_params = comparable_params(cand_reports[name])
+        if base_params != cand_params:
+            print(
+                f"note: report {name} was collected with different run "
+                f"parameters ({base_params} vs {cand_params}); cells "
+                f"describe different simulations — skipping"
+            )
+            continue
         compared += 1
         failures.extend(
             compare_report(
@@ -179,13 +230,17 @@ def main():
                 cand_reports[name],
                 args.accept_ratio_eps,
                 args.walltime_pct,
+                args.cells,
             )
         )
     for name in sorted(set(cand_reports) - set(base_reports)):
         print(f"note: report {name} is new in the candidate set")
 
     if compared == 0:
-        sys.exit("error: no report names in common between the two sets")
+        sys.exit(
+            "error: no comparable reports between the two sets (no common "
+            "names, or all pairs skipped on run-parameter mismatch)"
+        )
 
     if failures:
         print(f"FAIL: {len(failures)} regression(s) across {compared} report(s)")

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end check of the headline sharding contract on the real binaries:
+# bench_fig5_accept_ratio run as 4 shards and merged back with
+# `bench_scenario_grids --merge` must produce a report byte-identical to
+# the single unsharded run, modulo provenance and wall-time envelope
+# fields (git_sha, wall_ms, shard, merged_shards).
+#
+# Usage: scripts/check_shard_merge.sh [BUILD_DIR] [bench args...]
+# Exercised by the ShardMergeFig5Binary ctest case and the nightly merge
+# job's self-check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+BENCH_ARGS=(--seeds=2 --horizon_s=10 --threads=0 "$@")
+
+FIG5="${BUILD_DIR}/bench_fig5_accept_ratio"
+GRIDS="${BUILD_DIR}/bench_scenario_grids"
+for bin in "${FIG5}" "${GRIDS}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "missing bench binary ${bin}; configure with -DRTCM_BUILD_BENCHES=ON" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "== unsharded reference run =="
+"${FIG5}" "${BENCH_ARGS[@]}" --json_out="${WORK}/full.json" > /dev/null
+
+SHARDS=()
+for k in 1 2 3 4; do
+  echo "== shard ${k}/4 =="
+  "${FIG5}" "${BENCH_ARGS[@]}" --shard="${k}/4" \
+    --json_out="${WORK}/shard${k}.json" > /dev/null
+  SHARDS+=("${WORK}/shard${k}.json")
+done
+
+# Feed the shards out of order: merge must sort by shard index, not rely
+# on argument order.
+"${GRIDS}" --merge="${WORK}/merged.json" \
+  "${SHARDS[2]}" "${SHARDS[0]}" "${SHARDS[3]}" "${SHARDS[1]}"
+
+python3 - "${WORK}/full.json" "${WORK}/merged.json" <<'EOF'
+import json
+import sys
+
+PROVENANCE = {"git_sha", "wall_ms", "shard", "merged_shards"}
+
+
+def strip(value):
+    if isinstance(value, dict):
+        return {
+            k: strip(v) for k, v in value.items() if k not in PROVENANCE
+        }
+    if isinstance(value, list):
+        return [strip(v) for v in value]
+    return value
+
+
+with open(sys.argv[1]) as f:
+    full = strip(json.load(f))
+with open(sys.argv[2]) as f:
+    merged = strip(json.load(f))
+if full != merged:
+    sys.exit("FAIL: merged shard report differs from the unsharded run")
+print(
+    "OK: 4-shard merge is byte-identical to the unsharded run "
+    f"({len(full['cells'])} cells, modulo provenance fields)"
+)
+EOF

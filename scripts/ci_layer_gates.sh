@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# The per-layer CI gates, shared by every workflow job (plain and
+# sanitized runs use the exact same sequence; the sanitizer env is the
+# caller's job — see .github/actions/layer-gates).  Run locally as
+# `scripts/ci_layer_gates.sh [BUILD_DIR]` for the same coverage CI gets.
+#
+# Each layer gets an explicit gate even though the full ctest pass already
+# ran: the per-layer invocations keep CI logs attributable (a red
+# "Simulation kernel" line names the broken layer) and guard the label
+# wiring itself — a test that silently loses its label would otherwise
+# drop out of the layer gate without anyone noticing.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CTEST=(ctest --test-dir "${BUILD_DIR}" --output-on-failure)
+
+echo "::group::Reconfiguration layer (unit label + property tests)"
+"${CTEST[@]}" -L reconfig
+"${CTEST[@]}" -R ReconfigSafety
+echo "::endgroup::"
+
+echo "::group::Simulation-kernel layer (unit + alloc labels, determinism)"
+"${CTEST[@]}" -L sim
+"${CTEST[@]}" -R Determinism
+echo "::endgroup::"
+
+echo "::group::Scenario API layer (spec round trips, library, validation)"
+"${CTEST[@]}" -L scenario
+echo "::endgroup::"
+
+echo "::group::Admission layer (incremental-index equivalence, oracle run)"
+"${CTEST[@]}" -R IncrementalAub
+RTCM_CHECK_ADMISSION_ORACLE=1 \
+  "${BUILD_DIR}/bench_fig5_accept_ratio" --seeds=1 --horizon_s=10
+echo "::endgroup::"
+
+echo "::group::Sweep sharding layer (partition properties, merge identity)"
+"${CTEST[@]}" -R Shard
+echo "::endgroup::"
+
+echo "::group::Scenario spec exemplars (scenarios/*.json smoke)"
+"${CTEST[@]}" -R SpecSmoke
+echo "::endgroup::"

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Recombine the per-shard report directories a sharded
+# `run_benches.sh --shard=K/N` matrix produced into one full report set.
+#
+#   merge_shard_reports.sh BUILD_DIR OUT_DIR SHARD_DIR...
+#
+# Grid reports appear in every shard directory and are merged with
+# `bench_scenario_grids --merge` (which validates the K/N partition is
+# complete and disjoint).  Envelope/micro reports run on shard 1 only
+# (see run_benches.sh) and are copied through.  A report present in some
+# but not all shard directories is handed to --merge anyway, which
+# rejects the incomplete partition — a shard that silently dropped a
+# bench must fail the merge, not vanish from the baseline.
+set -euo pipefail
+
+if [[ $# -lt 3 ]]; then
+  echo "usage: $0 BUILD_DIR OUT_DIR SHARD_DIR..." >&2
+  exit 2
+fi
+BUILD_DIR="$1"
+OUT_DIR="$2"
+shift 2
+
+MERGE_BIN="${BUILD_DIR}/bench_scenario_grids"
+if [[ ! -x "${MERGE_BIN}" ]]; then
+  echo "missing ${MERGE_BIN}; configure with -DRTCM_BUILD_BENCHES=ON" >&2
+  exit 2
+fi
+mkdir -p "${OUT_DIR}"
+
+declare -A seen
+shopt -s nullglob
+for dir in "$@"; do
+  for f in "${dir}"/BENCH_*.json; do
+    seen["${f##*/}"]=1
+  done
+done
+if [[ ${#seen[@]} -eq 0 ]]; then
+  echo "no BENCH_*.json reports under: $*" >&2
+  exit 1
+fi
+
+status=0
+while IFS= read -r base; do
+  inputs=()
+  for dir in "$@"; do
+    [[ -s "${dir}/${base}" ]] && inputs+=("${dir}/${base}")
+  done
+  if [[ ${#inputs[@]} -eq 1 ]]; then
+    echo "copying ${base} (single shard)"
+    cp "${inputs[0]}" "${OUT_DIR}/${base}"
+  elif ! "${MERGE_BIN}" --merge="${OUT_DIR}/${base}" "${inputs[@]}"; then
+    echo "merge of ${base} FAILED" >&2
+    status=1
+  fi
+done < <(printf '%s\n' "${!seen[@]}" | sort)
+
+exit "${status}"

@@ -4,29 +4,73 @@
 # Pass-through arguments go to each sweep bench, e.g.
 # `scripts/run_benches.sh --seeds=3 --threads=0` for a quick parallel pass.
 #
-# Any bench exiting nonzero fails the whole script (after running the rest),
-# so CI can gate on it.
+# A bench fails the whole script (after running the rest) when it exits
+# nonzero OR when it produced no report file — a binary that dies after
+# flag parsing must never leave a silent gap in the collected set.
 #
 # The scenario-grid bench (bench_scenario_grids) runs once per named grid
 # from the scenario registry; --grids overrides the default comma-separated
 # list of registry entries (those without a dedicated figure bench).
 #
+# --profile=nightly expands to the paper-scale run parameters the nightly
+# CI baseline uses (seeds=10, horizon 100 s, all cores); explicit
+# pass-through flags still win because the bench flag parser keeps the last
+# occurrence.  --shard=K/N forwards the K-of-N grid partition to every grid
+# bench; the envelope-only micro benches (which have no grid to shard) run
+# on shard 1 only, so N shard invocations together produce each report
+# exactly once.  Shard reports merge back into full reports with
+# `bench_scenario_grids --merge` (see .github/workflows/nightly.yml).
+#
 # Usage: scripts/run_benches.sh [--build-dir DIR] [--report-dir DIR]
-#                               [--grids a,b,c] [bench args...]
+#                               [--grids a,b,c] [--profile nightly]
+#                               [--shard K/N] [bench args...]
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="build"
 REPORT_DIR="bench_reports"
 SCENARIO_GRIDS="bursty,jittered,imbalanced-heavy,drain-storm,long-horizon,huge-topology"
+PROFILE=""
+SHARD=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --build-dir=*) BUILD_DIR="${1#*=}"; shift ;;
     --report-dir) REPORT_DIR="$2"; shift 2 ;;
+    --report-dir=*) REPORT_DIR="${1#*=}"; shift ;;
     --grids) SCENARIO_GRIDS="$2"; shift 2 ;;
+    --grids=*) SCENARIO_GRIDS="${1#*=}"; shift ;;
+    --profile) PROFILE="$2"; shift 2 ;;
+    --profile=*) PROFILE="${1#*=}"; shift ;;
+    --shard) SHARD="$2"; shift 2 ;;
+    --shard=*) SHARD="${1#*=}"; shift ;;
     *) break ;;
   esac
 done
+
+PROFILE_ARGS=()
+case "${PROFILE}" in
+  "") ;;
+  # Paper scale: what the nightly baseline workflow runs and what the
+  # cross-PR regression gate compares against.
+  nightly) PROFILE_ARGS+=(--seeds=10 --horizon_s=100 --threads=0) ;;
+  # The cheap per-PR smoke pass.
+  smoke) PROFILE_ARGS+=(--seeds=2 --horizon_s=20 --threads=0) ;;
+  *) echo "unknown profile '${PROFILE}' (expected nightly or smoke)" >&2
+     exit 2 ;;
+esac
+
+SHARD_INDEX=1
+if [[ -n "${SHARD}" ]]; then
+  if [[ ! "${SHARD}" =~ ^[0-9]+/[0-9]+$ ]]; then
+    echo "malformed --shard '${SHARD}' (expected K/N)" >&2
+    exit 2
+  fi
+  SHARD_INDEX="${SHARD%%/*}"
+fi
+GRID_ARGS=("${PROFILE_ARGS[@]}")
+[[ -n "${SHARD}" ]] && GRID_ARGS+=("--shard=${SHARD}")
+GRID_ARGS+=("$@")
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   echo "build tree '${BUILD_DIR}' not found; run scripts/verify.sh first" >&2
@@ -38,19 +82,42 @@ mkdir -p "${REPORT_DIR}"
 rm -f "${REPORT_DIR}"/BENCH_*.json
 
 FAILED=()
+# Record a failure for a bench that exited zero but left no report behind
+# (e.g. crashed between flag parsing and the report write in a way the
+# shell missed, or wrote to the wrong path).
+check_report() { # <bench label> <status> <report path>
+  if [[ "$2" -eq 0 && ! -s "$3" ]]; then
+    echo "$1 exited 0 but wrote no report at $3" >&2
+    return 1
+  fi
+  return "$2"
+}
+
 shopt -s nullglob
 for bench in "${BUILD_DIR}"/bench_*; do
   [[ -x "${bench}" && ! -d "${bench}" ]] || continue
   name="${bench##*/}"
   name="${name#bench_}"
+  report="${REPORT_DIR}/BENCH_${name}.json"
+  if [[ -n "${SHARD}" && "${SHARD_INDEX}" != "1" ]]; then
+    case "${name}" in
+      # Envelope-only micro benches have no grid to shard: shard 1 runs
+      # them once; every other shard skips them so the merged set carries
+      # each report exactly once.
+      admission_micro|sim_micro|fig8_overheads|admission_scale)
+        echo "== bench_${name} == (skipped on shard ${SHARD})"
+        continue ;;
+    esac
+  fi
   echo "== bench_${name} =="
   case "${name}" in
     # Google-Benchmark binaries reject the sweep benches' flags (and exit 1
     # on unknown ones); run them with their own JSON output flags instead.
     admission_micro)
       "${bench}" \
-        "--benchmark_out=${REPORT_DIR}/BENCH_${name}.json" \
+        "--benchmark_out=${report}" \
         --benchmark_out_format=json
+      check_report "bench_${name}" $? "${report}"
       status=$?
       ;;
     # The registry bench: one pass per named scenario grid, each with its
@@ -59,8 +126,10 @@ for bench in "${BUILD_DIR}"/bench_*; do
       status=0
       for grid in ${SCENARIO_GRIDS//,/ }; do
         echo "-- grid ${grid} --"
+        grid_report="${REPORT_DIR}/BENCH_scenario_${grid}.json"
         "${bench}" "--grid=${grid}" \
-          "--json_out=${REPORT_DIR}/BENCH_scenario_${grid}.json" "$@"
+          "--json_out=${grid_report}" "${GRID_ARGS[@]}"
+        check_report "bench_${name} (grid ${grid})" $? "${grid_report}"
         grid_status=$?
         [[ ${grid_status} -ne 0 ]] && status=${grid_status}
         echo
@@ -69,11 +138,13 @@ for bench in "${BUILD_DIR}"/bench_*; do
     # Micro benches take their own sizing flags, not the sweep set; with
     # benches failing fast on unknown flags, they only get --json_out.
     sim_micro|fig8_overheads|admission_scale)
-      "${bench}" "--json_out=${REPORT_DIR}/BENCH_${name}.json"
+      "${bench}" "--json_out=${report}"
+      check_report "bench_${name}" $? "${report}"
       status=$?
       ;;
     *)
-      "${bench}" "--json_out=${REPORT_DIR}/BENCH_${name}.json" "$@"
+      "${bench}" "--json_out=${report}" "${GRID_ARGS[@]}"
+      check_report "bench_${name}" $? "${report}"
       status=$?
       ;;
   esac

@@ -1,10 +1,12 @@
 // Structured, machine-readable bench reports (BENCH_<name>.json).
 //
-// Schema (version 1):
+// Schema (version 2):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "fig5_accept_ratio",
 //     "git_sha": "<HEAD sha or 'unknown'>",
+//     "shard": {"index": 2, "count": 4},   // only when sharded
+//     "merged_shards": 4,                  // only on merge_reports output
 //     "params": { ... free-form run parameters ... },
 //     "cells": [
 //       {"combo": "T_N_N", "shape": "random", "variant": "", "seed": 1,
@@ -19,10 +21,17 @@
 //     ]
 //   }
 //
+// Version 2 added the shard provenance (`shard`, `merged_shards`); version-1
+// documents still parse (they carry the default 1/1 shard).  Both provenance
+// keys are omitted for plain unsharded runs, so their byte layout is
+// unchanged from version 1 apart from the schema_version field itself.
+//
 // Two renderings exist: to_json() is the full report (what run_benches.sh
 // collects and check_bench_regression.py compares), and deterministic_dump()
-// drops the non-reproducible fields (git_sha, wall times) so tests can
-// assert byte-identity between runs at different thread counts.
+// drops the non-reproducible / provenance fields (git_sha, wall times, shard
+// coordinates) so tests can assert byte-identity between runs at different
+// thread counts — and between a merged set of shard runs and an unsharded
+// run of the same grid.
 #pragma once
 
 #include <string>
@@ -35,7 +44,9 @@
 
 namespace rtcm::sweep {
 
-inline constexpr int kReportSchemaVersion = 1;
+inline constexpr int kReportSchemaVersion = 2;
+/// Oldest schema from_json still accepts (pre-shard reports).
+inline constexpr int kMinReportSchemaVersion = 1;
 
 /// Per-(combo, shape, variant) statistics over seeds, in first-cell order.
 struct Aggregate {
@@ -52,6 +63,12 @@ struct Report {
   std::string name;
   int schema_version = kReportSchemaVersion;
   std::string git_sha;
+  /// Which K/N partition of the grid this report covers; {1, 1} for a full
+  /// (unsharded or merged) run.
+  Shard shard;
+  /// Number of shard reports merged into this one by merge_reports();
+  /// 0 everywhere else.
+  int merged_shards = 0;
   /// Free-form run parameters recorded for reproducibility (seeds, horizon,
   /// thread count, flags).
   json::Value params = json::Value::object();
@@ -75,6 +92,15 @@ struct Report {
   /// Write to_json().dump() to `path`.
   [[nodiscard]] Status write_file(const std::string& path) const;
 };
+
+/// Recombine one report per shard of the same grid run into the report an
+/// unsharded run would have produced: cells re-interleaved into canonical
+/// order (the inverse of the round-robin partition), aggregates recomputed
+/// from the cells on serialization, provenance recording the merge
+/// (merged_shards = N).  The inputs must agree on name, schema and params,
+/// and must form a complete disjoint 1..N partition — anything else is an
+/// error, never a silently incomplete report.
+[[nodiscard]] Result<Report> merge_reports(const std::vector<Report>& shards);
 
 /// HEAD commit for report provenance: $RTCM_GIT_SHA when set (CI sets it),
 /// otherwise `git rev-parse HEAD`, otherwise "unknown".

@@ -1,0 +1,296 @@
+// Sharded sweeps: K/N partitions of the canonical cell order plus report
+// merging.  `ctest -R Shard` selects this layer (CI gates on it in both
+// jobs); the contract under test is the cluster-width story — any cell can
+// execute on any machine and the merged result is byte-identical to a
+// single-machine run.
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sweep/report.h"
+#include "sweep/sweep.h"
+#include "test_helpers.h"
+
+namespace rtcm {
+namespace {
+
+sweep::Grid figure5_grid(int seeds) {
+  sweep::Grid grid;
+  grid.combos = core::valid_combinations();
+  grid.shapes = {{"random", workload::random_workload_shape()}};
+  grid.seeds = seeds;
+  return grid;
+}
+
+sweep::SweepParams fast_params() {
+  sweep::SweepParams params;
+  params.base.horizon = Duration::seconds(10);
+  params.base.drain = Duration::seconds(5);
+  return params;
+}
+
+sweep::Report report_of(std::string name,
+                        std::vector<sweep::CellResult> cells) {
+  sweep::Report report;
+  report.name = std::move(name);
+  report.git_sha = "test";
+  report.cells = std::move(cells);
+  return report;
+}
+
+/// Run one K/N shard of the grid and wrap it as the report the bench layer
+/// would write for that shard.
+sweep::Report run_shard(const sweep::Grid& grid,
+                        const sweep::SweepParams& base, int index,
+                        int count) {
+  sweep::SweepParams params = base;
+  params.shard = sweep::Shard{index, count};
+  sweep::Report report = report_of("fig5", sweep::run_sweep(grid, params, {}));
+  report.shard = params.shard;
+  return report;
+}
+
+TEST(ShardParse, AcceptsKOfNAndRejectsMalformedSpellings) {
+  const auto ok = sweep::Shard::parse("3/8");
+  ASSERT_TRUE(ok.is_ok()) << ok.message();
+  EXPECT_EQ(ok.value().index, 3);
+  EXPECT_EQ(ok.value().count, 8);
+  EXPECT_EQ(ok.value().label(), "3/8");
+  EXPECT_TRUE(sweep::Shard::parse("1/1").is_ok());
+
+  for (const char* bad : {"", "3", "/", "3/", "/8", "0/4", "5/4", "-1/4",
+                          "a/4", "4/b", "1/4x", "1//4"}) {
+    EXPECT_FALSE(sweep::Shard::parse(bad).is_ok()) << bad;
+  }
+}
+
+TEST(ShardPartition, IsDisjointAndCoversTheGridForArbitraryK) {
+  const sweep::Grid grid = figure5_grid(7);
+  const std::vector<sweep::Cell> cells = grid.cells();
+  // K values beyond the cell count exercise the empty-shard edge too.
+  for (const int count : {1, 2, 3, 4, 5, 7, 16, 64,
+                          static_cast<int>(cells.size()) + 3}) {
+    std::set<std::size_t> seen;
+    for (int index = 1; index <= count; ++index) {
+      const sweep::Shard shard{index, count};
+      const auto owned = sweep::shard_indices(cells.size(), shard);
+      for (const std::size_t i : owned) {
+        EXPECT_LT(i, cells.size());
+        EXPECT_TRUE(shard.covers(i));
+        const auto [it, inserted] = seen.insert(i);
+        EXPECT_TRUE(inserted) << "cell " << i << " owned by two shards (N="
+                              << count << ")";
+      }
+    }
+    EXPECT_EQ(seen.size(), cells.size()) << "N=" << count;
+  }
+}
+
+TEST(ShardPartition, RoundRobinKeepsEveryComboInEveryShard) {
+  // Round-robin (rather than contiguous blocks) makes each shard a
+  // cross-section of the grid: with 15 combos x 4 seeds and 4 shards,
+  // every combo appears in every shard, so shard wall times stay balanced.
+  const sweep::Grid grid = figure5_grid(4);
+  const std::vector<sweep::Cell> cells = grid.cells();
+  for (int index = 1; index <= 4; ++index) {
+    std::set<std::string> combos;
+    for (const std::size_t i :
+         sweep::shard_indices(cells.size(), sweep::Shard{index, 4})) {
+      combos.insert(cells[i].combo);
+    }
+    EXPECT_EQ(combos.size(), grid.combos.size()) << "shard " << index;
+  }
+}
+
+TEST(ShardSweep, FourShardFig5MergesByteIdenticalToUnshardedRun) {
+  const sweep::Grid grid = figure5_grid(2);
+  const sweep::SweepParams params = fast_params();
+
+  sweep::Report single =
+      report_of("fig5", sweep::run_sweep(grid, params, {}));
+
+  std::vector<sweep::Report> shards;
+  for (int index = 1; index <= 4; ++index) {
+    shards.push_back(run_shard(grid, params, index, 4));
+  }
+  const auto merged = sweep::merge_reports(shards);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();
+
+  EXPECT_EQ(merged.value().deterministic_dump(),
+            single.deterministic_dump());
+  EXPECT_EQ(merged.value().cells.size(), grid.cells().size());
+  EXPECT_EQ(merged.value().merged_shards, 4);
+  // Merged provenance reads as a full run: shard coordinates reset.
+  EXPECT_EQ(merged.value().shard.count, 1);
+}
+
+TEST(ShardSweep, ShardOrderGivenToMergeDoesNotMatter) {
+  const sweep::Grid grid = figure5_grid(1);
+  const sweep::SweepParams params = fast_params();
+  std::vector<sweep::Report> shards;
+  for (const int index : {3, 1, 2}) {
+    shards.push_back(run_shard(grid, params, index, 3));
+  }
+  const auto merged = sweep::merge_reports(shards);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();
+  EXPECT_EQ(merged.value().deterministic_dump(),
+            report_of("fig5", sweep::run_sweep(grid, params, {}))
+                .deterministic_dump());
+}
+
+TEST(ShardSweep, AnySingleCellRerunsBitExactFromItsShard) {
+  const sweep::Grid grid = figure5_grid(2);
+  const sweep::SweepParams params = fast_params();
+  const std::vector<sweep::Cell> cells = grid.cells();
+
+  // Rerun one cell from the middle of shard 3/4 in isolation — the
+  // "reproduce any nightly cell on a laptop" contract.
+  sweep::SweepParams shard_params = params;
+  shard_params.shard = sweep::Shard{3, 4};
+  const auto shard_results = sweep::run_sweep(grid, shard_params, {});
+  ASSERT_GT(shard_results.size(), 2u);
+  const sweep::CellResult& from_shard = shard_results[1];
+
+  const sweep::CellResult rerun = sweep::run_cell(
+      from_shard.cell, workload::random_workload_shape(), params);
+  EXPECT_TRUE(rerun.error.empty()) << rerun.error;
+  EXPECT_EQ(rerun.accept_ratio, from_shard.accept_ratio);
+  EXPECT_EQ(rerun.deadline_misses, from_shard.deadline_misses);
+  EXPECT_EQ(rerun.aperiodic_response_ms, from_shard.aperiodic_response_ms);
+}
+
+TEST(ShardMerge, RejectsIncompletePartitions) {
+  const sweep::Grid grid = figure5_grid(1);
+  const sweep::SweepParams params = fast_params();
+
+  // Missing shard 3 of 3.
+  std::vector<sweep::Report> missing = {run_shard(grid, params, 1, 3),
+                                        run_shard(grid, params, 2, 3)};
+  EXPECT_FALSE(sweep::merge_reports(missing).is_ok());
+
+  // Duplicate shard index.
+  std::vector<sweep::Report> duplicate = {run_shard(grid, params, 1, 2),
+                                          run_shard(grid, params, 1, 2)};
+  EXPECT_FALSE(sweep::merge_reports(duplicate).is_ok());
+
+  // Mixed shard counts.
+  std::vector<sweep::Report> mixed = {run_shard(grid, params, 1, 2),
+                                      run_shard(grid, params, 2, 3)};
+  EXPECT_FALSE(sweep::merge_reports(mixed).is_ok());
+
+  EXPECT_FALSE(sweep::merge_reports({}).is_ok());
+}
+
+TEST(ShardMerge, RejectsMismatchedNamesParamsAndDoubleMerges) {
+  const sweep::Grid grid = figure5_grid(1);
+  const sweep::SweepParams params = fast_params();
+
+  std::vector<sweep::Report> renamed = {run_shard(grid, params, 1, 2),
+                                        run_shard(grid, params, 2, 2)};
+  renamed[1].name = "fig6";
+  EXPECT_FALSE(sweep::merge_reports(renamed).is_ok());
+
+  std::vector<sweep::Report> reparam = {run_shard(grid, params, 1, 2),
+                                        run_shard(grid, params, 2, 2)};
+  reparam[0].params.set("seeds", 10);
+  reparam[1].params.set("seeds", 3);
+  EXPECT_FALSE(sweep::merge_reports(reparam).is_ok());
+
+  std::vector<sweep::Report> shards = {run_shard(grid, params, 1, 2),
+                                       run_shard(grid, params, 2, 2)};
+  auto merged = sweep::merge_reports(shards);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();
+  std::vector<sweep::Report> again = {std::move(merged.value())};
+  EXPECT_FALSE(sweep::merge_reports(again).is_ok());
+}
+
+TEST(ShardMerge, MixedGitShasCollapseToMixed) {
+  const sweep::Grid grid = figure5_grid(1);
+  const sweep::SweepParams params = fast_params();
+  std::vector<sweep::Report> shards = {run_shard(grid, params, 1, 2),
+                                       run_shard(grid, params, 2, 2)};
+  shards[0].git_sha = "aaa";
+  shards[1].git_sha = "bbb";
+  const auto merged = sweep::merge_reports(shards);
+  ASSERT_TRUE(merged.is_ok()) << merged.message();
+  EXPECT_EQ(merged.value().git_sha, "mixed");
+}
+
+TEST(ShardReport, ShardProvenanceSurvivesJsonRoundTrip) {
+  sweep::Report report = run_shard(figure5_grid(1), fast_params(), 2, 4);
+  const std::string bytes = report.to_json().dump();
+  EXPECT_NE(bytes.find("\"shard\""), std::string::npos);
+
+  const auto parsed = json::Value::parse(bytes);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.message();
+  const auto restored = sweep::Report::from_json(parsed.value());
+  ASSERT_TRUE(restored.is_ok()) << restored.message();
+  EXPECT_EQ(restored.value().shard.index, 2);
+  EXPECT_EQ(restored.value().shard.count, 4);
+  EXPECT_EQ(restored.value().merged_shards, 0);
+  // Serialize -> parse -> serialize stays a fixed point with provenance.
+  EXPECT_EQ(restored.value().to_json().dump(), bytes);
+}
+
+TEST(ShardReport, UnshardedReportsKeepTheHistoricalByteLayout) {
+  sweep::Report report =
+      report_of("plain", sweep::run_sweep(figure5_grid(1), fast_params(),
+                                          {}));
+  const std::string bytes = report.to_json().dump();
+  EXPECT_EQ(bytes.find("\"shard\""), std::string::npos);
+  EXPECT_EQ(bytes.find("merged_shards"), std::string::npos);
+  // Provenance is also absent from the deterministic form, which is what
+  // makes merged-vs-unsharded byte-identity checkable at all.
+  EXPECT_EQ(report.deterministic_dump().find("shard"), std::string::npos);
+}
+
+TEST(ShardReport, SchemaVersion1DocumentsStillParse) {
+  json::Value cell = json::Value::object();
+  cell.set("combo", "T_N_N");
+  cell.set("shape", "random");
+  cell.set("variant", "");
+  cell.set("seed", 1);
+  cell.set("accept_ratio", 0.5);
+  cell.set("deadline_misses", 0);
+  cell.set("aperiodic_response_ms", 1.0);
+  cell.set("wall_ms", 2.0);
+  json::Value cells = json::Value::array();
+  cells.push_back(cell);
+  json::Value doc = json::Value::object();
+  doc.set("schema_version", 1);
+  doc.set("name", "legacy");
+  doc.set("git_sha", "old");
+  doc.set("params", json::Value::object());
+  doc.set("cells", cells);
+
+  const auto report = sweep::Report::from_json(doc);
+  ASSERT_TRUE(report.is_ok()) << report.message();
+  EXPECT_EQ(report.value().schema_version, 1);
+  EXPECT_EQ(report.value().shard.index, 1);
+  EXPECT_EQ(report.value().shard.count, 1);
+
+  doc.set("schema_version", 3);
+  EXPECT_FALSE(sweep::Report::from_json(doc).is_ok());
+}
+
+TEST(ShardedSweepDeterminism, ShardRunsAreThreadCountIndependent) {
+  const sweep::Grid grid = figure5_grid(2);
+  sweep::SweepParams params = fast_params();
+  params.shard = sweep::Shard{2, 3};
+
+  sweep::SweepOptions single;
+  single.threads = 1;
+  sweep::SweepOptions pooled;
+  pooled.threads = 4;
+  EXPECT_EQ(report_of("s", sweep::run_sweep(grid, params, single))
+                .deterministic_dump(),
+            report_of("s", sweep::run_sweep(grid, params, pooled))
+                .deterministic_dump());
+}
+
+}  // namespace
+}  // namespace rtcm
