@@ -6,16 +6,28 @@
 //
 //   schedule_dispatch_fifo    in-order schedule + drain (arrival streams)
 //   schedule_dispatch_random  scrambled times (worst-case heap sifts)
-//   schedule_cancel           schedule + O(1) lazy cancel + drain of dead
-//                             heap entries (admission backstops that rarely
-//                             fire)
+//   bulk_drain                dense calendar bulk-loaded then drained — the
+//                             pattern where the heap pays an O(log n) sift
+//                             per pop and the wheel stays amortized O(1)
+//   steady_state_window       bounded pending set (~256), schedule and
+//                             dispatch interleaved — the shape real runs
+//                             have
+//   steady_state_pending_100k the same interleaving with 10^5 resident
+//                             events, the scale tier the ROADMAP targets
+//   schedule_cancel           schedule + O(1) lazy cancel + drain/compaction
+//                             of the dead entries (admission backstops that
+//                             rarely fire)
 //   reschedule_churn          one event re-timed repeatedly (the preemptive
 //                             processor's completion-event pattern)
 //   processor_preempt_storm   end-to-end Processor preempt/resume chains
-//   baseline_map_fifo /       the previous kernel's data structure — a
+//   baseline_map_fifo /       the pre-PR-4 kernel's data structure — a
 //   baseline_map_random       std::map<(time,seq), std::function> — run on
-//                             identical workloads, so every report carries
-//                             its own before/after comparison
+//   baseline_map_steady_state identical workloads
+//
+// Every kernel-sensitive operation runs twice: the bare name measures the
+// production timer-wheel kernel, and the `_heap` twin measures the 4-ary
+// heap reference oracle on the identical workload, so each report carries
+// its own wheel-vs-heap comparison alongside the historical map baseline.
 //
 // Times are host wall times (not deterministic), so the report shares only
 // the envelope with the sweep benches: check_bench_regression.py
@@ -141,31 +153,54 @@ int main(int argc, char** argv) {
 
   std::vector<OpResult> results;
 
-  results.push_back(time_op("schedule_dispatch_fifo", repeats, events, [&] {
-    sim::Simulator sim;
+  // Run `body(kind)` as two operations: `name` on the production wheel
+  // kernel and `name_heap` on the 4-ary heap oracle, identical workloads.
+  const auto both_kernels = [&](const std::string& name,
+                                std::uint64_t ops_per_run, auto body) {
+    results.push_back(time_op(name, repeats, ops_per_run,
+                              [&] { body(sim::KernelKind::kWheel); }));
+    results.push_back(time_op(name + "_heap", repeats, ops_per_run,
+                              [&] { body(sim::KernelKind::kHeap); }));
+  };
+
+  both_kernels("schedule_dispatch_fifo", events, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
     for (std::uint64_t i = 0; i < events; ++i) {
       sim.schedule_at(Time(static_cast<std::int64_t>(i)),
                       [&sink, i] { sink += i; });
     }
     sim.run_all();
-  }));
+  });
 
-  results.push_back(time_op("schedule_dispatch_random", repeats, events, [&] {
-    sim::Simulator sim;
+  both_kernels("schedule_dispatch_random", events, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
     Scramble scramble(42);
     for (std::uint64_t i = 0; i < events; ++i) {
       const auto at = static_cast<std::int64_t>(scramble.next() >> 24);
       sim.schedule_at(Time(at), [&sink, i] { sink += i; });
     }
     sim.run_all();
-  }));
+  });
+
+  // Bulk drain over a dense calendar: every event loaded before the first
+  // dispatch, times packed ~8 usec apart, so the drain phase dominates.
+  both_kernels("bulk_drain", events, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
+    Scramble scramble(17);
+    const std::uint64_t span = events * 8;
+    for (std::uint64_t i = 0; i < events; ++i) {
+      sim.schedule_at(Time(static_cast<std::int64_t>(scramble.next() % span)),
+                      [&sink, i] { sink += i; });
+    }
+    sim.run_all();
+  });
 
   // Steady-state window: the shape real runs have — a bounded pending set
   // (releases, completions, backstops) with schedule and dispatch
   // interleaved, not a bulk load followed by a bulk drain.
   constexpr std::uint64_t kWindow = 256;
-  results.push_back(time_op("steady_state_window", repeats, events, [&] {
-    sim::Simulator sim;
+  both_kernels("steady_state_window", events, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
     Scramble scramble(7);
     for (std::uint64_t i = 0; i < kWindow; ++i) {
       sim.schedule_at(Time(static_cast<std::int64_t>(scramble.next() % 1000)),
@@ -178,7 +213,34 @@ int main(int argc, char** argv) {
       sim.schedule_at(Time(at), [&sink] { ++sink; });
     }
     sim.run_all();
-  }));
+  });
+
+  // The same interleaving with 10^5 events resident — the next scale tier
+  // the ROADMAP targets (10^4–10^6 tasks per cell).  Each new event lands
+  // uniformly inside a ~400 ms horizon, so the heap sifts through ~17
+  // levels while the wheel files into one of its buckets.
+  constexpr std::uint64_t kBigWindow = 100000;
+  both_kernels("steady_state_pending_100k", events,
+               [&](sim::KernelKind kind) {
+                 sim::Simulator sim(kind);
+                 Scramble scramble(11);
+                 const std::uint64_t spread = kBigWindow * 4;
+                 for (std::uint64_t i = 0; i < kBigWindow; ++i) {
+                   sim.schedule_at(
+                       Time(static_cast<std::int64_t>(scramble.next() %
+                                                      spread)),
+                       [&sink] { ++sink; });
+                 }
+                 for (std::uint64_t i = 0; i < events; ++i) {
+                   sim.step();
+                   const std::int64_t at =
+                       sim.now().usec() +
+                       static_cast<std::int64_t>(scramble.next() % spread);
+                   sim.schedule_at(Time(at), [&sink] { ++sink; });
+                 }
+                 // Don't drain the 100k tail: this op times the resident
+                 // steady state, not a trailing bulk drain.
+               });
 
   results.push_back(time_op("baseline_map_steady_state", repeats, events, [&] {
     MapQueue queue;
@@ -197,8 +259,8 @@ int main(int argc, char** argv) {
     }
   }));
 
-  results.push_back(time_op("schedule_cancel", repeats, events, [&] {
-    sim::Simulator sim;
+  both_kernels("schedule_cancel", events, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
     std::vector<sim::EventHandle> handles;
     handles.reserve(events);
     for (std::uint64_t i = 0; i < events; ++i) {
@@ -206,11 +268,11 @@ int main(int argc, char** argv) {
                                         [&sink, i] { sink += i; }));
     }
     for (const sim::EventHandle h : handles) sim.cancel(h);
-    sim.run_all();  // drains the dead heap entries
-  }));
+    sim.run_all();  // reaps the dead entries
+  });
 
-  results.push_back(time_op("reschedule_churn", repeats, events, [&] {
-    sim::Simulator sim;
+  both_kernels("reschedule_churn", events, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
     sim::EventHandle h =
         sim.schedule_at(Time(static_cast<std::int64_t>(events) + 1),
                         [&sink] { ++sink; });
@@ -219,14 +281,14 @@ int main(int argc, char** argv) {
                              static_cast<std::int64_t>(i % 7)));
     }
     sim.run_all();
-  }));
+  });
 
   // End-to-end processor path: each wave submits a low-priority item, then
   // a high-priority item that preempts it — exercising submit, the
   // completion-event reschedule, and resume.
   const std::uint64_t waves = events / 4;
-  results.push_back(time_op("processor_preempt_storm", repeats, waves, [&] {
-    sim::Simulator sim;
+  both_kernels("processor_preempt_storm", waves, [&](sim::KernelKind kind) {
+    sim::Simulator sim(kind);
     sim::Processor cpu(sim, ProcessorId(0));
     for (std::uint64_t w = 0; w < waves; ++w) {
       const auto base = static_cast<std::int64_t>(w) * 100;
@@ -240,7 +302,7 @@ int main(int argc, char** argv) {
       });
     }
     sim.run_all();
-  }));
+  });
 
   results.push_back(time_op("baseline_map_fifo", repeats, events, [&] {
     MapQueue queue;

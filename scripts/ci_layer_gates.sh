@@ -20,6 +20,17 @@ echo "::group::Reconfiguration layer (unit label + property tests)"
 echo "::endgroup::"
 
 echo "::group::Simulation-kernel layer (unit + alloc labels, determinism)"
+# The sim label registers every test twice: once against the default
+# timer-wheel kernel and once (".heap_kernel" suffix, RTCM_SIM_KERNEL=heap)
+# against the 4-ary heap oracle, so this single invocation gates BOTH
+# kernels — in the sanitizer job too.  Assert the double registration is
+# actually wired before trusting the label run: a lost suffix would
+# silently halve the coverage.
+sim_listing="$(ctest --test-dir "${BUILD_DIR}" -N -L sim)"
+if ! grep -q '\.heap_kernel' <<<"${sim_listing}"; then
+  echo "sim label lost its .heap_kernel registrations" >&2
+  exit 1
+fi
 "${CTEST[@]}" -L sim
 "${CTEST[@]}" -R Determinism
 echo "::endgroup::"

@@ -4,12 +4,26 @@
 
 namespace rtcm {
 
+namespace {
+/// "-5", "-0.25", "-.5" — a negative-number positional, not a value the
+/// preceding --name should swallow.
+bool looks_like_negative_number(const std::string& token) {
+  if (token.size() < 2 || token[0] != '-') return false;
+  return (token[1] >= '0' && token[1] <= '9') || token[1] == '.';
+}
+}  // namespace
+
 Flags Flags::parse(int argc, const char* const* argv) {
   Flags flags;
+  bool flags_done = false;  // a lone "--" ends flag parsing
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (!starts_with(arg, "--")) {
+    if (flags_done || !starts_with(arg, "--")) {
       flags.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
       continue;
     }
     const std::string body = arg.substr(2);
@@ -18,8 +32,10 @@ Flags Flags::parse(int argc, const char* const* argv) {
       flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
       continue;
     }
-    // --name value (if the next token is not itself a flag), else bare bool.
-    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+    // --name value — unless the next token is itself a flag (or the "--"
+    // separator) or reads as a negative number; then --name is a bare bool.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--") &&
+        !looks_like_negative_number(argv[i + 1])) {
       flags.values_[body] = argv[i + 1];
       ++i;
     } else {

@@ -1,8 +1,12 @@
 // Tiny command-line flag parser for the bench/example binaries.
 //
 // Accepts --name=value and --name value forms plus bare --name booleans.
-// Unknown flags are collected so callers can reject or ignore them (the
-// google-benchmark binaries pass their own flags through).
+// The --name value lookahead never swallows a negative-number token ("-5",
+// "-0.25"): those stay positional, so a negative value must be spelled
+// --name=-5.  A lone "--" ends flag parsing; every later token is
+// positional verbatim.  Unknown flags are collected so callers can reject
+// or ignore them (the google-benchmark binaries pass their own flags
+// through).
 #pragma once
 
 #include <cstdint>

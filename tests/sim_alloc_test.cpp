@@ -1,15 +1,25 @@
 // Allocation-count tests for the simulation kernel's event path.
 //
 // The kernel's contract is that scheduling, cancelling, rescheduling and
-// dispatching events performs ZERO heap allocations once the slab and heap
-// vectors are warm, for any capture within EventFn's inline capacity.  This
+// dispatching events performs ZERO heap allocations once the slab and the
+// ordering structure are warm, for any capture within EventFn's inline
+// capacity — and it holds for BOTH kernels (the 4-ary heap and the timer
+// wheel), so every test below is parameterized over KernelKind.  This
 // binary overrides global operator new/delete with counting pass-throughs
 // and asserts exact deltas around the hot paths — if someone reintroduces a
 // std::function (16-byte inline capacity on libstdc++) or an allocating
 // container on the event path, these tests fail with a nonzero delta.
 //
-// The overrides are binary-global, which is why these tests live in their
-// own test executable instead of sim_test.
+// Warming is rehearse-then-measure: the workload runs once to grow the
+// slab, free list, heap, and wheel buckets it needs, then runs again and
+// the second pass must allocate nothing.  Between passes the simulator is
+// advanced to the next multiple of the wheel's level-3 granularity (64^3
+// usec): bucket placement depends only on event times modulo that phase
+// while relative offsets stay below it, so both passes of a now()-relative
+// workload target exactly the same buckets.
+//
+// The operator overrides are binary-global, which is why these tests live
+// in their own test executable instead of sim_test.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -18,6 +28,8 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <string>
+#include <utility>
 
 #include "sim/processor.h"
 #include "sim/simulator.h"
@@ -57,36 +69,59 @@ namespace {
 static_assert(EventFn::fits_inline<std::array<std::byte, 88>>);
 static_assert(CompletionFn::fits_inline<std::array<std::byte, 64>>);
 
-/// Schedule-and-drain enough events to grow the slab, heap, and free-list
-/// vectors past what the measured section needs.
-void warm(Simulator& sim, int slots) {
-  for (int i = 0; i < slots; ++i) {
-    sim.schedule_at(sim.now() + Duration(1 + i), [] {});
-  }
-  sim.run_all();
+/// Wheel level-3 bucket granularity: runs whose start times are congruent
+/// modulo this (and whose offsets stay below it) place every event in the
+/// same bucket, so a rehearsal pass warms exactly what the measured pass
+/// touches.
+constexpr std::int64_t kPhase = 64LL * 64 * 64;
+
+/// Advance (without dispatching anything new) to the next kPhase multiple.
+void align(Simulator& sim) {
+  sim.run_until(Time((sim.now().usec() / kPhase + 1) * kPhase));
 }
 
-TEST(SimAllocTest, InlineCaptureScheduleAndDispatchAllocationFree) {
-  Simulator sim;
-  warm(sim, 4096);
+/// Run `workload` twice — rehearsal, then phase-aligned measured pass — and
+/// return the measured pass's allocation count.
+template <typename Workload>
+std::uint64_t measured_allocations(Simulator& sim, Workload&& workload) {
+  align(sim);
+  workload();  // rehearsal: grows slab, free list, heap, buckets, due batch
+  sim.run_all();
+  align(sim);
+  const std::uint64_t before = allocation_count();
+  workload();
+  sim.run_all();
+  return allocation_count() - before;
+}
+
+class SimAllocTest : public ::testing::TestWithParam<KernelKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, SimAllocTest,
+    ::testing::Values(KernelKind::kHeap, KernelKind::kWheel),
+    [](const ::testing::TestParamInfo<KernelKind>& info) {
+      return std::string(info.param == KernelKind::kHeap ? "heap" : "wheel");
+    });
+
+TEST_P(SimAllocTest, InlineCaptureScheduleAndDispatchAllocationFree) {
+  Simulator sim(GetParam());
   std::uint64_t sink = 0;
   struct Payload {
     std::uint64_t a, b, c;
   } payload{1, 2, 3};  // 24-byte capture — typical core-layer size
 
-  const std::uint64_t before = allocation_count();
-  for (int i = 0; i < 2048; ++i) {
-    sim.schedule_at(sim.now() + Duration(1 + i),
-                    [&sink, payload] { sink += payload.a + payload.c; });
-  }
-  sim.run_all();
-  EXPECT_EQ(allocation_count() - before, 0u);
-  EXPECT_EQ(sink, 2048u * 4u);
+  const std::uint64_t allocs = measured_allocations(sim, [&] {
+    for (int i = 0; i < 2048; ++i) {
+      sim.schedule_at(sim.now() + Duration(1 + i),
+                      [&sink, payload] { sink += payload.a + payload.c; });
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(sink, 2u * 2048u * 4u);  // both passes dispatched everything
 }
 
-TEST(SimAllocTest, CapacityEdgeCaptureStaysInline) {
-  Simulator sim;
-  warm(sim, 256);
+TEST_P(SimAllocTest, CapacityEdgeCaptureStaysInline) {
+  Simulator sim(GetParam());
   std::uint64_t sink = 0;
   // Exactly EventFn::kCapacity bytes of capture.
   struct Edge {
@@ -95,98 +130,97 @@ TEST(SimAllocTest, CapacityEdgeCaptureStaysInline) {
   } edge{&sink, {}};
   static_assert(sizeof(Edge) == EventFn::kCapacity);
 
-  const std::uint64_t before = allocation_count();
-  for (int i = 0; i < 128; ++i) {
-    sim.schedule_at(sim.now() + Duration(1 + i), [edge] { ++*edge.sink; });
-  }
-  sim.run_all();
-  EXPECT_EQ(allocation_count() - before, 0u);
-  EXPECT_EQ(sink, 128u);
+  const std::uint64_t allocs = measured_allocations(sim, [&] {
+    for (int i = 0; i < 128; ++i) {
+      sim.schedule_at(sim.now() + Duration(1 + i), [edge] { ++*edge.sink; });
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(sink, 2u * 128u);
 }
 
-TEST(SimAllocTest, OversizedCaptureFallsBackToOneHeapAllocation) {
-  Simulator sim;
-  warm(sim, 256);
+TEST_P(SimAllocTest, OversizedCaptureFallsBackToOneHeapAllocation) {
+  Simulator sim(GetParam());
   std::uint64_t sink = 0;
   struct Oversized {
     std::uint64_t* sink;
     std::byte pad[EventFn::kCapacity];  // one pointer past the capacity
   } big{&sink, {}};
 
-  const std::uint64_t before = allocation_count();
-  sim.schedule_at(sim.now() + Duration(1), [big] { ++*big.sink; });
-  EXPECT_EQ(allocation_count() - before, 1u);
-  sim.run_all();
-  EXPECT_EQ(sink, 1u);
-  EXPECT_EQ(allocation_count() - before, 1u);  // dispatch adds nothing
+  const std::uint64_t allocs = measured_allocations(sim, [&] {
+    sim.schedule_at(sim.now() + Duration(1), [big] { ++*big.sink; });
+  });
+  EXPECT_EQ(allocs, 1u);  // the capture box; dispatch adds nothing
+  EXPECT_EQ(sink, 2u);
 }
 
-TEST(SimAllocTest, CancelAndLazyDrainAllocationFree) {
-  Simulator sim;
-  warm(sim, 2048);
+TEST_P(SimAllocTest, CancelAndLazyDrainAllocationFree) {
+  Simulator sim(GetParam());
   std::uint64_t sink = 0;
-
   std::array<EventHandle, 1024> handles;
-  const std::uint64_t before = allocation_count();
-  for (std::size_t i = 0; i < handles.size(); ++i) {
-    handles[i] = sim.schedule_at(
-        sim.now() + Duration(1 + static_cast<std::int64_t>(i)),
-        [&sink] { ++sink; });
-  }
   std::size_t cancelled = 0;
-  for (const EventHandle h : handles) {
-    if (sim.cancel(h)) ++cancelled;
-  }
-  sim.run_all();  // drains the dead heap entries
-  EXPECT_EQ(allocation_count() - before, 0u);
-  EXPECT_EQ(cancelled, handles.size());
+
+  // The cancel storm leaves 1024 dead entries behind (more than live), so
+  // this also drives the compaction sweep — which must be in-place.
+  const std::uint64_t allocs = measured_allocations(sim, [&] {
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      handles[i] = sim.schedule_at(
+          sim.now() + Duration(1 + static_cast<std::int64_t>(i)),
+          [&sink] { ++sink; });
+    }
+    for (const EventHandle h : handles) {
+      if (sim.cancel(h)) ++cancelled;
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(cancelled, 2u * handles.size());
   EXPECT_EQ(sink, 0u);
 }
 
-TEST(SimAllocTest, RescheduleChurnAllocationFree) {
-  Simulator sim;
-  // Warm past the heap growth a reschedule-per-iteration run needs: each
-  // reschedule leaves a dead entry behind until the queue drains.
-  warm(sim, 4096);
+TEST_P(SimAllocTest, RescheduleChurnAllocationFree) {
+  Simulator sim(GetParam());
   std::uint64_t sink = 0;
-
-  EventHandle h =
-      sim.schedule_at(sim.now() + Duration(10000), [&sink] { ++sink; });
-  const std::uint64_t before = allocation_count();
   int rescheduled = 0;
-  for (int i = 0; i < 2048; ++i) {
-    if (sim.reschedule(h, sim.now() + Duration(10000 + i))) ++rescheduled;
-  }
-  sim.run_all();
-  EXPECT_EQ(allocation_count() - before, 0u);
-  EXPECT_EQ(rescheduled, 2048);
-  EXPECT_EQ(sink, 1u);
+
+  // Every reschedule leaves a dead entry at the event's (far-future) old
+  // position until compaction reaps it, so this pins both the churn path
+  // and the sweep as allocation-free at steady state.
+  const std::uint64_t allocs = measured_allocations(sim, [&] {
+    EventHandle h =
+        sim.schedule_at(sim.now() + Duration(10000), [&sink] { ++sink; });
+    for (int i = 0; i < 2048; ++i) {
+      if (sim.reschedule(h, sim.now() + Duration(10000 + i))) ++rescheduled;
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(rescheduled, 2 * 2048);
+  EXPECT_EQ(sink, 2u);
 }
 
-TEST(SimAllocTest, ProcessorCompletionPathAllocationFree) {
-  Simulator sim;
+TEST_P(SimAllocTest, ProcessorCompletionPathAllocationFree) {
+  Simulator sim(GetParam());
   Processor cpu(sim, ProcessorId(0));
   std::uint64_t sink = 0;
-  // Warm: the same preempt/resume wave the measured section runs, so the
-  // ready deque, slab, and heap have their steady-state footprints.
-  auto wave = [&](std::int64_t base) {
-    sim.schedule_at(Time(base), [&cpu, &sink] {
-      cpu.submit({1, Priority(5), Duration(40),
-                  [&sink](std::uint64_t id) { sink += id; }});
-    });
-    sim.schedule_at(Time(base + 10), [&cpu, &sink] {
-      cpu.submit({2, Priority(1), Duration(20),
-                  [&sink](std::uint64_t id) { sink += id; }});
-    });
-  };
-  for (int w = 0; w < 64; ++w) wave(w * 100);
-  sim.run_all();
 
-  const std::uint64_t before = allocation_count();
-  for (int w = 64; w < 128; ++w) wave(w * 100);
-  sim.run_all();
-  EXPECT_EQ(allocation_count() - before, 0u);
-  EXPECT_EQ(sink, 3u * 128u);  // ids 1 + 2 completed per wave
+  // The same preempt/resume wave pattern both passes, so the ready deque,
+  // slab, and ordering structure reach their steady-state footprints in
+  // the rehearsal.
+  const std::uint64_t allocs = measured_allocations(sim, [&] {
+    const std::int64_t start = sim.now().usec();
+    for (int w = 0; w < 64; ++w) {
+      const std::int64_t base = start + w * 100;
+      sim.schedule_at(Time(base), [&cpu, &sink] {
+        cpu.submit({1, Priority(5), Duration(40),
+                    [&sink](std::uint64_t id) { sink += id; }});
+      });
+      sim.schedule_at(Time(base + 10), [&cpu, &sink] {
+        cpu.submit({2, Priority(1), Duration(20),
+                    [&sink](std::uint64_t id) { sink += id; }});
+      });
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(sink, 2u * 3u * 64u);  // ids 1 + 2 completed per wave, twice
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// Cross-kernel equivalence suite: the timer wheel against the 4-ary heap.
+//
+// The heap kernel is the deterministic reference oracle; the wheel must be
+// indistinguishable from it through the public Simulator API.  These tests
+// drive both kernels through identical randomized schedule / cancel /
+// reschedule / run churn — including same-instant ties, events scheduled
+// from inside callbacks, and horizons beyond the wheel's 64^6-usec span
+// (the overflow heap) — and require byte-identical dispatch sequences,
+// identical now() trajectories, and byte-identical full-middleware traces.
+//
+// Also here: the dead-entry regression tests.  cancel()/reschedule() used
+// to leave dead entries queued until they surfaced at the front, so a
+// reschedule storm against a far-future event grew queue memory and sift
+// depth with *total* churn; both kernels now compact once dead entries
+// outnumber live ones, and these tests pin the O(live) bound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/runtime.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "workload/arrival.h"
+#include "workload/generator.h"
+
+namespace rtcm::sim {
+namespace {
+
+constexpr std::int64_t kWheelSpanUsec = 64LL * 64 * 64 * 64 * 64 * 64;
+
+/// One externally-applied operation of the churn script.  Scripts are
+/// generated once per seed and replayed verbatim against each kernel, so
+/// both simulators see exactly the same call sequence.
+struct Op {
+  enum Kind { kSchedule, kCancel, kReschedule, kRunUntil, kStep } kind;
+  std::int64_t a = 0;  // schedule/reschedule/run_until: time offset
+  std::size_t target = 0;  // cancel/reschedule: index into issued handles
+  std::uint64_t id = 0;    // schedule: event identity for the dispatch log
+};
+
+std::vector<Op> make_script(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::vector<Op> script;
+  script.reserve(static_cast<std::size_t>(ops));
+  std::uint64_t next_id = 1;
+  std::size_t handles = 0;
+  for (int i = 0; i < ops; ++i) {
+    const std::int64_t roll = rng.uniform_int(0, 99);
+    if (roll < 55 || handles == 0) {
+      // Offsets span every wheel level and (rarely) the overflow heap, and
+      // land on few enough distinct values to force same-time ties.
+      static constexpr std::int64_t kSpans[] = {
+          63, 4095, 262143, 16777215, kWheelSpanUsec * 2};
+      const auto span =
+          kSpans[static_cast<std::size_t>(rng.uniform_int(0, 4)) %
+                 (rng.uniform_int(0, 9) == 0 ? 5 : 4)];
+      script.push_back({Op::kSchedule, rng.uniform_int(0, span) & ~3LL, 0,
+                        next_id++});
+      ++handles;
+    } else if (roll < 70) {
+      script.push_back(
+          {Op::kCancel, 0,
+           static_cast<std::size_t>(rng.uniform_int(
+               0, static_cast<std::int64_t>(handles) - 1))});
+    } else if (roll < 85) {
+      script.push_back(
+          {Op::kReschedule, rng.uniform_int(0, 262143),
+           static_cast<std::size_t>(rng.uniform_int(
+               0, static_cast<std::int64_t>(handles) - 1))});
+    } else if (roll < 95) {
+      script.push_back({Op::kRunUntil, rng.uniform_int(0, 100000)});
+    } else {
+      script.push_back({Op::kStep, rng.uniform_int(1, 16)});
+    }
+  }
+  return script;
+}
+
+/// Replay a script and return the dispatch log: (time, id) per executed
+/// event, plus a now() sample after every run op.  Callbacks for ids
+/// divisible by 7 schedule a child event mid-dispatch, exercising the
+/// schedule-at-current-instant path.
+std::vector<std::pair<std::int64_t, std::uint64_t>> replay(
+    KernelKind kind, const std::vector<Op>& script) {
+  Simulator sim(kind);
+  std::vector<std::pair<std::int64_t, std::uint64_t>> log;
+  std::vector<EventHandle> handles;
+  struct Recorder {
+    Simulator* sim;
+    std::vector<std::pair<std::int64_t, std::uint64_t>>* log;
+    std::uint64_t id;
+    void operator()() const {
+      log->emplace_back(sim->now().usec(), id);
+      if (id % 7 == 0) {
+        sim->schedule_at(sim->now() + Duration(id % 977),
+                         Recorder{sim, log, id + 1000000});
+      }
+    }
+  };
+  for (const Op& op : script) {
+    switch (op.kind) {
+      case Op::kSchedule:
+        handles.push_back(sim.schedule_at(sim.now() + Duration(op.a),
+                                          Recorder{&sim, &log, op.id}));
+        break;
+      case Op::kCancel:
+        sim.cancel(handles[op.target]);
+        break;
+      case Op::kReschedule:
+        sim.reschedule(handles[op.target], sim.now() + Duration(op.a));
+        break;
+      case Op::kRunUntil:
+        sim.run_until(sim.now() + Duration(op.a));
+        log.emplace_back(sim.now().usec(), 0);  // pin the now() trajectory
+        break;
+      case Op::kStep:
+        for (std::int64_t n = 0; n < op.a; ++n) {
+          if (!sim.step()) break;
+        }
+        break;
+    }
+  }
+  sim.run_all();
+  log.emplace_back(sim.now().usec(),
+                   sim.executed());  // totals must agree too
+  EXPECT_EQ(sim.pending(), 0u);
+  return log;
+}
+
+TEST(CrossKernelOracleTest, RandomChurnDispatchesByteIdentically) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::vector<Op> script = make_script(seed, 600);
+    const auto heap_log = replay(KernelKind::kHeap, script);
+    const auto wheel_log = replay(KernelKind::kWheel, script);
+    ASSERT_EQ(heap_log, wheel_log) << "seed " << seed;
+    ASSERT_GT(heap_log.size(), 100u) << "seed " << seed;
+  }
+}
+
+TEST(CrossKernelOracleTest, OverflowHorizonChurnMatches) {
+  // Concentrate on the overflow heap and multi-span jumps: every event is
+  // beyond the wheel's span when scheduled.
+  for (std::uint64_t seed = 100; seed < 104; ++seed) {
+    Rng rng(seed);
+    std::vector<Op> script;
+    std::uint64_t id = 1;
+    for (int i = 0; i < 64; ++i) {
+      script.push_back({Op::kSchedule,
+                        kWheelSpanUsec + rng.uniform_int(0, kWheelSpanUsec * 3),
+                        0, id++});
+    }
+    script.push_back({Op::kRunUntil, kWheelSpanUsec * 2});
+    for (int i = 0; i < 64; ++i) {
+      script.push_back({Op::kSchedule, rng.uniform_int(0, kWheelSpanUsec * 2),
+                        0, id++});
+      script.push_back(
+          {Op::kReschedule, rng.uniform_int(0, kWheelSpanUsec * 2),
+           static_cast<std::size_t>(rng.uniform_int(0, 63))});
+    }
+    const auto heap_log = replay(KernelKind::kHeap, script);
+    const auto wheel_log = replay(KernelKind::kWheel, script);
+    ASSERT_EQ(heap_log, wheel_log) << "seed " << seed;
+  }
+}
+
+TEST(CrossKernelOracleTest, RunUntilLeavesIdenticalNowWithEmptyQueue) {
+  for (const KernelKind kind : {KernelKind::kHeap, KernelKind::kWheel}) {
+    Simulator sim(kind);
+    int fired = 0;
+    sim.schedule_at(Time(50), [&] { ++fired; });
+    sim.run_until(Time(49));
+    EXPECT_EQ(sim.now(), Time(49));
+    EXPECT_EQ(fired, 0);
+    sim.run_until(Time(50));  // deadline-inclusive dispatch
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), Time(50));
+    sim.run_until(Time(123456789));  // idle horizon advance, multi-level
+    EXPECT_EQ(sim.now(), Time(123456789));
+    // Scheduling relative to the advanced instant must still dispatch in
+    // order — the wheel's digit path has to be consistent after the jump.
+    std::vector<int> order;
+    sim.schedule_at(sim.now() + Duration(3), [&] { order.push_back(3); });
+    sim.schedule_at(sim.now() + Duration(1), [&] { order.push_back(1); });
+    sim.schedule_at(sim.now() + Duration(2), [&] { order.push_back(2); });
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  }
+}
+
+// --- full-middleware byte-identity ------------------------------------------
+
+TEST(CrossKernelOracleTest, EndToEndRenderedTraceBytesMatchHeapOracle) {
+  auto run_once = [](KernelKind kind) {
+    Rng rng(31);
+    auto tasks =
+        workload::generate_workload(workload::random_workload_shape(), rng);
+    core::SystemConfig config;
+    config.strategies = core::StrategyCombination::parse("J_J_J").value();
+    config.comm_jitter = Duration::microseconds(200);
+    config.comm_jitter_seed = 9;
+    config.lb_policy = "random";
+    config.lb_seed = 4;
+    config.enable_trace = true;
+    config.kernel = kind;
+    core::SystemRuntime runtime(config, std::move(tasks));
+    EXPECT_TRUE(runtime.assemble().is_ok());
+    Rng arrival_rng = rng.fork(1);
+    const Time horizon(Duration::seconds(8).usec());
+    runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    runtime.run_until(horizon + Duration::seconds(11));
+    return runtime.trace().render();
+  };
+  const std::string heap_trace = run_once(KernelKind::kHeap);
+  const std::string wheel_trace = run_once(KernelKind::kWheel);
+  EXPECT_GT(heap_trace.size(), 0u);
+  EXPECT_EQ(heap_trace, wheel_trace);
+}
+
+// --- dead-entry compaction regression ----------------------------------------
+
+TEST(CompactionRegressionTest, RescheduleStormKeepsQueueMemoryBounded) {
+  // The original heap kernel kept every dead entry until it surfaced at the
+  // front: 10^6 reschedules of one far-future event stored ~10^6 entries.
+  // With compaction, stored entries stay O(live) — here live is 1, so the
+  // queue may never hold more than the sweep threshold plus one storm's
+  // worth of dead entries between sweeps.
+  for (const KernelKind kind : {KernelKind::kHeap, KernelKind::kWheel}) {
+    Simulator sim(kind);
+    int fired = 0;
+    EventHandle h =
+        sim.schedule_at(sim.now() + Duration(1 << 30), [&] { ++fired; });
+    std::size_t max_entries = 0;
+    for (int i = 0; i < 1000000; ++i) {
+      ASSERT_TRUE(sim.reschedule(h, sim.now() + Duration((1 << 30) + i)));
+      max_entries = std::max(max_entries, sim.queue_entries());
+    }
+    EXPECT_LE(max_entries, 1024u);  // vs ~10^6 without compaction
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run_all();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.queue_entries(), 0u);
+  }
+}
+
+TEST(CompactionRegressionTest, CancelStormKeepsQueueMemoryBounded) {
+  for (const KernelKind kind : {KernelKind::kHeap, KernelKind::kWheel}) {
+    Simulator sim(kind);
+    std::size_t max_entries = 0;
+    for (int round = 0; round < 64; ++round) {
+      std::vector<EventHandle> handles;
+      for (int i = 0; i < 1024; ++i) {
+        handles.push_back(
+            sim.schedule_at(sim.now() + Duration(1 + i), [] {}));
+      }
+      for (EventHandle& h : handles) EXPECT_TRUE(sim.cancel(h));
+      max_entries = std::max(max_entries, sim.queue_entries());
+    }
+    // 64 rounds x 1024 cancels must not accumulate: the bound is one
+    // round's storm plus the sweep threshold, not 65536.
+    EXPECT_LE(max_entries, 4096u);
+    EXPECT_EQ(sim.pending(), 0u);
+    sim.run_all();
+    EXPECT_EQ(sim.queue_entries(), 0u);
+  }
+}
+
+// The compacted front must still dispatch in exact (time, seq) order: churn
+// a mix of survivors and cancelled events past the sweep threshold, then
+// check the survivors fire in schedule order.
+TEST(CompactionRegressionTest, CompactionPreservesDispatchOrder) {
+  for (const KernelKind kind : {KernelKind::kHeap, KernelKind::kWheel}) {
+    Simulator sim(kind);
+    std::vector<std::uint64_t> fired;
+    std::vector<EventHandle> doomed;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      const Time at = sim.now() + Duration(static_cast<std::int64_t>(
+                                       1000 + (i * 37) % 5000));
+      if (i % 3 == 0) {
+        sim.schedule_at(at, [&fired, i] { fired.push_back(i); });
+      } else {
+        doomed.push_back(sim.schedule_at(at, [] { ADD_FAILURE(); }));
+      }
+    }
+    for (EventHandle& h : doomed) EXPECT_TRUE(sim.cancel(h));
+    sim.run_all();
+    EXPECT_EQ(fired.size(), 667u);
+    // Same (time, seq) comparator the kernels use: time ascending, then
+    // insertion order.
+    EXPECT_TRUE(std::is_sorted(
+        fired.begin(), fired.end(), [](std::uint64_t a, std::uint64_t b) {
+          const auto ta = 1000 + (a * 37) % 5000;
+          const auto tb = 1000 + (b * 37) % 5000;
+          return ta != tb ? ta < tb : a < b;
+        }));
+  }
+}
+
+}  // namespace
+}  // namespace rtcm::sim

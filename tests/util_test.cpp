@@ -338,6 +338,56 @@ TEST(FlagsTest, Positional) {
   EXPECT_EQ(flags.positional(), (std::vector<std::string>{"one", "two"}));
 }
 
+TEST(FlagsTest, NegativeNumberTokenStaysPositional) {
+  // The --name value lookahead must not swallow "-5": --verbose is a bare
+  // bool and the number stays positional.  Negative values are spelled
+  // --name=-5.
+  const char* argv[] = {"prog", "--verbose", "-5", "--offset=-5", "--x",
+                        "-.25"};
+  const Flags flags = Flags::parse(6, argv);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.get_bool("x", false));
+  EXPECT_EQ(flags.get_int("offset", 0), -5);
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"-5", "-.25"}));
+}
+
+TEST(FlagsTest, NonNumericDashTokenIsStillAValue) {
+  // Only number-shaped tokens are exempt from the lookahead; "-v" or "-"
+  // keep the historical behaviour of being consumed as the value.
+  const char* argv[] = {"prog", "--mode", "-v", "--sep", "-"};
+  const Flags flags = Flags::parse(5, argv);
+  EXPECT_EQ(flags.get_string("mode", ""), "-v");
+  EXPECT_EQ(flags.get_string("sep", ""), "-");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  const char* argv[] = {"prog", "--a=1", "--", "--b=2", "-3", "plain"};
+  const Flags flags = Flags::parse(6, argv);
+  EXPECT_EQ(flags.get_int("a", 0), 1);
+  EXPECT_FALSE(flags.has("b"));
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"--b=2", "-3", "plain"}));
+}
+
+TEST(FlagsTest, DoubleDashAfterBareFlagIsNotItsValue) {
+  const char* argv[] = {"prog", "--bare", "--", "tail"};
+  const Flags flags = Flags::parse(4, argv);
+  EXPECT_TRUE(flags.get_bool("bare", false));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"tail"}));
+}
+
+TEST(FlagsTest, EmptyValueIsARecordedErrorForNumericGetters) {
+  const char* argv[] = {"prog", "--n=", "--d=", "--s="};
+  const Flags flags = Flags::parse(4, argv);
+  EXPECT_EQ(flags.get_int("n", 7), 7);
+  EXPECT_EQ(flags.get_double("d", 2.5), 2.5);
+  EXPECT_EQ(flags.errors().size(), 2u);
+  // String getters keep the empty value without complaint.
+  EXPECT_TRUE(flags.has("s"));
+  EXPECT_EQ(flags.get_string("s", "def"), "");
+  EXPECT_EQ(flags.errors().size(), 2u);
+}
+
 // --- result ------------------------------------------------------------------
 
 TEST(StatusTest, OkAndError) {
