@@ -215,13 +215,25 @@ def main():
             continue
         base_params = comparable_params(base_reports[name])
         cand_params = comparable_params(cand_reports[name])
-        if base_params != cand_params:
+        shared = set(base_params) & set(cand_params)
+        if any(base_params[k] != cand_params[k] for k in shared):
             print(
                 f"note: report {name} was collected with different run "
                 f"parameters ({base_params} vs {cand_params}); cells "
                 f"describe different simulations — skipping"
             )
             continue
+        one_sided = sorted(set(base_params) ^ set(cand_params))
+        if one_sided:
+            # A bench grew (or dropped) a params key between the baseline
+            # and the candidate.  The shared keys agree, so the overlapping
+            # cells still describe the same simulations — compare them and
+            # say what was one-sided instead of refusing a whole report
+            # over a schema addition.
+            print(
+                f"note: report {name}: params key(s) {one_sided} present "
+                f"on one side only; comparing on the shared keys"
+            )
         compared += 1
         failures.extend(
             compare_report(

@@ -41,8 +41,16 @@ echo "::endgroup::"
 
 echo "::group::Admission layer (incremental-index equivalence, oracle run)"
 "${CTEST[@]}" -R IncrementalAub
-RTCM_CHECK_ADMISSION_ORACLE=1 \
+# Both admission cross-checks armed at once: the reference Equation (1)
+# rescan against the incremental index, and the map-backed shadow book
+# against the struct-of-arrays slabs.  Either aborts the bench on
+# divergence.
+RTCM_CHECK_ADMISSION_ORACLE=1 RTCM_CHECK_BOOK_ORACLE=1 \
   "${BUILD_DIR}/bench_fig5_accept_ratio" --seeds=1 --horizon_s=10
+echo "::endgroup::"
+
+echo "::group::SoA storage layer (slab/arena/small-vec + shadow-book churn)"
+"${CTEST[@]}" -R SoaEquivalence
 echo "::endgroup::"
 
 echo "::group::Sweep sharding layer (partition properties, merge identity)"

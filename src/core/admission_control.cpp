@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 #include <utility>
 
 #include "ccm/container.h"
@@ -19,11 +20,13 @@ using events::RejectPayload;
 using events::TaskArrivePayload;
 
 AdmissionControl::AdmissionControl(const sched::TaskSet& tasks,
-                                   MetricsCollector* metrics)
+                                   MetricsCollector* metrics,
+                                   util::MonotonicArena* arena)
     : Component(kTypeName),
       tasks_(tasks),
       metrics_(metrics),
-      check_oracle_(std::getenv("RTCM_CHECK_ADMISSION_ORACLE") != nullptr) {
+      check_oracle_(std::getenv("RTCM_CHECK_ADMISSION_ORACLE") != nullptr),
+      state_(arena) {
   declare_event_sink("TaskArrive", EventType::kTaskArrive);
   declare_event_sink("IdleReset", EventType::kIdleReset);
   declare_event_source("Accept", EventType::kAccept);
@@ -237,19 +240,22 @@ sched::AdmissionDecision AdmissionControl::test(
 }
 
 void AdmissionControl::maybe_move_reservation(const sched::TaskSpec& spec) {
-  const auto* reservation = state_.reservation(spec.id);
-  assert(reservation != nullptr);
+  const auto reservation = state_.reservation(spec.id);
+  assert(reservation.has_value());
   const std::vector<ProcessorId> fresh = drain_adjusted(spec, propose(spec));
-  if (fresh.empty() || fresh == reservation->placement) return;
+  if (fresh.empty() || std::ranges::equal(fresh, reservation->placement)) {
+    return;
+  }
   // Release, test the new placement against the remaining load, and keep
   // whichever placement is admissible (the old one always is: removing and
   // re-adding it restores the exact prior state).
-  std::vector<ProcessorId> old_placement = state_.release_reservation(spec);
+  const std::vector<ProcessorId> old_placement =
+      state_.release_reservation(spec);
   if (test(spec, fresh).admitted) {
     state_.reserve_task(spec, fresh);
     ++counters_.reservation_moves;
   } else {
-    state_.reserve_task(spec, std::move(old_placement));
+    state_.reserve_task(spec, old_placement);
   }
 }
 
@@ -345,7 +351,10 @@ void AdmissionControl::handle_task_arrive(const TaskArrivePayload& a) {
       // Job — which is exactly when the reservation may move.)
       if (lb_ == LbStrategy::kPerJob) maybe_move_reservation(*spec);
       ++counters_.auto_accepts;
-      accept(*spec, a, state_.reservation(a.task)->placement,
+      const auto reservation = state_.reservation(a.task);
+      accept(*spec, a,
+             std::vector<ProcessorId>(reservation->placement.begin(),
+                                      reservation->placement.end()),
              /*task_admitted=*/true);
       return;
     }
@@ -404,7 +413,7 @@ std::string placement_string(const std::vector<ProcessorId>& placement) {
   return out;
 }
 
-bool touches(const std::vector<ProcessorId>& placement,
+bool touches(std::span<const ProcessorId> placement,
              const std::set<ProcessorId>& nodes) {
   for (const ProcessorId p : placement) {
     if (nodes.count(p) > 0) return true;
@@ -421,10 +430,14 @@ Result<AdmissionControl::TransitionSummary> AdmissionControl::apply_drain(
   TransitionSummary summary;
 
   // Standing reservations touching a drained processor must migrate.
+  // Sorted by TaskId so migration (and trace) order is canonical, not the
+  // reservation slab's churn-dependent row order.
   std::vector<TaskId> affected;
-  for (const auto& [task, reservation] : state_.reservations()) {
-    if (touches(reservation.placement, drained_)) affected.push_back(task);
-  }
+  state_.for_each_reservation(
+      [&](const SchedulingState::ReservationView& r) {
+        if (touches(r.placement, drained_)) affected.push_back(r.task);
+      });
+  std::sort(affected.begin(), affected.end());
 
   // Undo log: (task, original placement), in migration order.
   std::vector<std::pair<TaskId, std::vector<ProcessorId>>> undo;
@@ -438,13 +451,13 @@ Result<AdmissionControl::TransitionSummary> AdmissionControl::apply_drain(
     if (fresh.empty() || !test(*spec, fresh).admitted) {
       // Roll everything back: re-adding the exact old contributions restores
       // the ledger byte-for-byte (same stages, same amounts).
-      state_.reserve_task(*spec, std::move(old_placement));
+      state_.reserve_task(*spec, old_placement);
       for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
         const sched::TaskSpec* undone = tasks_.find(it->first);
         assert(undone != nullptr);
         (void)state_.release_reservation(*undone);
         if (plans_.count(it->first) > 0) plans_[it->first] = it->second;
-        state_.reserve_task(*undone, std::move(it->second));
+        state_.reserve_task(*undone, it->second);
       }
       drained_ = previous;
       return R::error("reconfiguration rejected: admitted task " +

@@ -58,7 +58,10 @@ class AdmissionControl final : public ccm::Component {
   /// (the deployer measures it, e.g. with the Figure 8 harness).
   static constexpr const char* kDsHopOverheadAttr = "DS_HopOverhead";
 
-  AdmissionControl(const sched::TaskSet& tasks, MetricsCollector* metrics);
+  /// `arena` backs the book of record's spilled rows (normally the owning
+  /// SystemRuntime's cell arena); null lets the state own a private one.
+  AdmissionControl(const sched::TaskSet& tasks, MetricsCollector* metrics,
+                   util::MonotonicArena* arena = nullptr);
 
   struct Counters {
     std::uint64_t admission_tests = 0;

@@ -104,7 +104,8 @@ void SystemRuntime::register_component_types() {
       });
   (void)factory_.register_type(
       AdmissionControl::kTypeName, [this](ProcessorId) {
-        return std::make_unique<AdmissionControl>(tasks_, &metrics_);
+        return std::make_unique<AdmissionControl>(tasks_, &metrics_,
+                                                  &admission_arena_);
       });
   (void)factory_.register_type(
       LoadBalancerComponent::kTypeName,

@@ -190,6 +190,9 @@ class SystemRuntime {
   std::unique_ptr<events::FederatedEventChannel> federation_;
   MetricsCollector metrics_;
   ccm::ComponentFactory factory_;
+  /// Cell-lifetime arena backing the AC book of record's spilled rows;
+  /// declared before containers_ so the components it serves die first.
+  util::MonotonicArena admission_arena_;
 
   ProcessorId manager_;
   std::vector<ProcessorId> app_processors_;

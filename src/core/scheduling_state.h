@@ -9,40 +9,76 @@
 //     incremental AdmissionIndex so an arrival only re-tests the footprints
 //     its placement intersects (sched/admission_index.h).  The full
 //     footprint list stays available for the reference-oracle test.
+//
+// Storage is struct-of-arrays: jobs and reservations live in dense slabs
+// (parallel columns, swap-with-last removal) keyed by open-addressing
+// id -> row tables, placements and contribution lists sit inline in their
+// rows (<= 4 stages) spilling into the cell's MonotonicArena beyond that,
+// and a per-processor job index (rows by dense ledger slot) makes
+// latest_deadline_touching O(jobs actually touching the queried nodes).
+// Admit/expire/reset churn at fixed capacity allocates nothing once the
+// slabs are warm (tests/sim_alloc_test.cpp pins this with a counting
+// allocator).
+//
+// With RTCM_CHECK_BOOK_ORACLE set in the environment (or the oracle ctor
+// flag), a std::map-backed shadow book mirrors every mutation with the
+// exact arithmetic of the pre-slab implementation and cross-checks totals,
+// live counts and row contents after each one, aborting on divergence —
+// the same enforcement style as RTCM_CHECK_ADMISSION_ORACLE.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <initializer_list>
+#include <memory>
+#include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "sched/admission_index.h"
 #include "sched/aub.h"
 #include "sched/task.h"
 #include "sched/utilization_ledger.h"
+#include "util/arena.h"
 #include "util/ids.h"
+#include "util/slab.h"
+#include "util/small_vec.h"
 #include "util/time.h"
 
 namespace rtcm::core {
 
 class SchedulingState {
  public:
-  struct JobAdmission {
+  /// Read-only view of one admitted job's row; the spans point into the
+  /// slab and are invalidated by the next mutation.
+  struct JobView {
     TaskId task;
     JobId job;
-    std::vector<ProcessorId> placement;
     Time absolute_deadline;
-    /// One handle per stage (invalid after that stage was reset).
-    std::vector<sched::ContributionId> contributions;
     sched::FootprintId footprint;
+    std::span<const ProcessorId> placement;
+    /// One handle per stage (invalid after that stage was reset).
+    std::span<const sched::ContributionId> contributions;
   };
 
-  struct TaskReservation {
+  struct ReservationView {
     TaskId task;
-    std::vector<ProcessorId> placement;
-    std::vector<sched::ContributionId> contributions;
     sched::FootprintId footprint;
+    std::span<const ProcessorId> placement;
+    std::span<const sched::ContributionId> contributions;
   };
+
+  /// True when RTCM_CHECK_BOOK_ORACLE is set in the environment.
+  [[nodiscard]] static bool book_oracle_from_env();
+
+  /// Spill storage beyond the inline row capacity comes from `arena` (the
+  /// owning SystemRuntime's cell arena); when null, the state owns a
+  /// private arena.  `book_oracle` enables the shadow-book cross-check.
+  explicit SchedulingState(util::MonotonicArena* arena = nullptr,
+                           bool book_oracle = book_oracle_from_env());
+  ~SchedulingState();
+  SchedulingState(const SchedulingState&) = delete;
+  SchedulingState& operator=(const SchedulingState&) = delete;
 
   [[nodiscard]] const sched::UtilizationLedger& ledger() const {
     return ledger_;
@@ -65,11 +101,22 @@ class SchedulingState {
 
   /// Add stage contributions for an admitted job.
   void admit_job(const sched::TaskSpec& spec, JobId job,
-                 std::vector<ProcessorId> placement, Time absolute_deadline);
+                 std::span<const ProcessorId> placement,
+                 Time absolute_deadline);
+  void admit_job(const sched::TaskSpec& spec, JobId job,
+                 std::initializer_list<ProcessorId> placement,
+                 Time absolute_deadline) {
+    admit_job(spec, job,
+              std::span<const ProcessorId>(placement.begin(),
+                                           placement.size()),
+              absolute_deadline);
+  }
 
-  [[nodiscard]] bool has_job(JobId job) const { return jobs_.count(job) > 0; }
-  [[nodiscard]] const JobAdmission* job(JobId job) const;
-  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+  [[nodiscard]] bool has_job(JobId job) const {
+    return job_index_.contains(job.value());
+  }
+  [[nodiscard]] std::optional<JobView> job(JobId job) const;
+  [[nodiscard]] std::size_t active_jobs() const { return job_ids_.size(); }
 
   /// Remove all remaining contributions of a job (deadline expiry).  No-op
   /// for unknown jobs, so expiry timers and resets compose safely.
@@ -84,7 +131,8 @@ class SchedulingState {
   /// placement touches any of `nodes`; Time::epoch() when none do.  The
   /// reconfiguration engine uses this to size quiesce windows: an admitted
   /// job is guaranteed complete by its deadline, so a drained host is
-  /// certainly silent after the last such deadline.
+  /// certainly silent after the last such deadline.  O(jobs touching
+  /// `nodes`) via the per-processor job index, not O(all in-flight jobs).
   [[nodiscard]] Time latest_deadline_touching(
       const std::set<ProcessorId>& nodes) const;
 
@@ -93,27 +141,36 @@ class SchedulingState {
   /// Permanently reserve utilization on one processor without adding a task
   /// footprint (used for deferrable-server interference: the servers load
   /// the processors but are not themselves subject to Equation (1)).
-  void add_background(ProcessorId proc, double utilization) {
-    (void)ledger_.add(proc, utilization);
-    index_.refresh(proc, ledger_);
-  }
+  void add_background(ProcessorId proc, double utilization);
 
   // --- Per-task reservations (AC per Task) ---------------------------------
 
   void reserve_task(const sched::TaskSpec& spec,
-                    std::vector<ProcessorId> placement);
+                    std::span<const ProcessorId> placement);
+  void reserve_task(const sched::TaskSpec& spec,
+                    std::initializer_list<ProcessorId> placement) {
+    reserve_task(spec, std::span<const ProcessorId>(placement.begin(),
+                                                    placement.size()));
+  }
 
   [[nodiscard]] bool is_reserved(TaskId task) const {
-    return reservations_.count(task) > 0;
+    return res_index_.contains(task.value());
   }
-  [[nodiscard]] const TaskReservation* reservation(TaskId task) const;
-  /// All standing reservations (the reconfiguration engine scans these for
-  /// placements touching a drained processor).
-  [[nodiscard]] const std::map<TaskId, TaskReservation>& reservations() const {
-    return reservations_;
+  [[nodiscard]] std::optional<ReservationView> reservation(TaskId task) const;
+
+  /// Visit every standing reservation (the reconfiguration engine scans
+  /// these for placements touching a drained processor).  Rows come in
+  /// slab order — callers needing a canonical order sort what they
+  /// collect.  `fn` must not mutate this state.
+  template <typename Fn>
+  void for_each_reservation(Fn&& fn) const {
+    for (std::uint32_t row = 0; row < res_ids_.size(); ++row) {
+      fn(reservation_view(row));
+    }
   }
+
   [[nodiscard]] std::size_t reservation_count() const {
-    return reservations_.size();
+    return res_ids_.size();
   }
 
   /// Remove a reservation and return its placement (for LB-per-Job plan
@@ -121,15 +178,62 @@ class SchedulingState {
   /// placement won).
   std::vector<ProcessorId> release_reservation(const sched::TaskSpec& spec);
 
+  // --- Memory accounting ---------------------------------------------------
+
+  /// Heap bytes held by the book's slabs, ledger and index (excludes the
+  /// arena — see arena()).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+  /// The arena backing this book's spilled rows (owned or injected).
+  [[nodiscard]] const util::MonotonicArena& arena() const { return *arena_; }
+
  private:
+  struct ShadowBook;
+
+  /// Where a job's row is registered in the per-processor job index.
+  struct ProcRef {
+    std::uint32_t proc_slot = 0;    // dense ledger slot of the processor
+    std::uint32_t member_slot = 0;  // position in proc_jobs_[proc_slot]
+  };
+
+  [[nodiscard]] JobView job_view(std::uint32_t row) const;
+  [[nodiscard]] ReservationView reservation_view(std::uint32_t row) const;
+
   /// Push the term deltas of every distinct processor in `placement` into
   /// the index after their ledger totals changed.
-  void refresh_placement(const std::vector<ProcessorId>& placement);
+  void refresh_placement(std::span<const ProcessorId> placement);
+  /// Register `row` in proc_jobs_ for each distinct placement processor.
+  void link_job_procs(std::uint32_t row);
+  /// Remove `row`'s proc_jobs_ entries (fixing moved back-pointers).
+  void unlink_job_procs(std::uint32_t row);
+
+  std::unique_ptr<util::MonotonicArena> own_arena_;
+  util::MonotonicArena* arena_;
 
   sched::UtilizationLedger ledger_;
   sched::AdmissionIndex index_;
-  std::map<JobId, JobAdmission> jobs_;
-  std::map<TaskId, TaskReservation> reservations_;
+
+  // Job slab (parallel columns; dense rows, swap-with-last removal).
+  util::IdSlotMap job_index_;
+  std::vector<JobId> job_ids_;
+  std::vector<TaskId> job_task_;
+  std::vector<Time> job_deadline_;
+  std::vector<sched::FootprintId> job_footprint_;
+  std::vector<util::SmallVec<ProcessorId, 4>> job_placement_;
+  std::vector<util::SmallVec<sched::ContributionId, 4>> job_contrib_;
+  std::vector<util::SmallVec<ProcRef, 4>> job_proc_refs_;
+  /// Per-processor job index: rows of jobs whose placement touches the
+  /// processor at this dense ledger slot.
+  std::vector<std::vector<std::uint32_t>> proc_jobs_;
+
+  // Reservation slab.
+  util::IdSlotMap res_index_;
+  std::vector<TaskId> res_ids_;
+  std::vector<sched::FootprintId> res_footprint_;
+  std::vector<util::SmallVec<ProcessorId, 4>> res_placement_;
+  std::vector<util::SmallVec<sched::ContributionId, 4>> res_contrib_;
+
+  /// Non-null only in oracle mode.
+  std::unique_ptr<ShadowBook> shadow_;
 };
 
 }  // namespace rtcm::core

@@ -20,6 +20,7 @@ struct Overlay {
   struct Entry {
     ProcessorId proc;
     double amount = 0.0;
+    std::uint32_t index = 0;  // dense proc-entry index, or kNoEntry
   };
   std::vector<Entry> entries;
 
@@ -30,7 +31,7 @@ struct Overlay {
         return;
       }
     }
-    entries.push_back({proc, amount});
+    entries.push_back({proc, amount, 0});
   }
 
   [[nodiscard]] const double* find(ProcessorId proc) const {
@@ -39,129 +40,142 @@ struct Overlay {
     }
     return nullptr;
   }
+
+  /// Lookup by resolved proc-entry index (every registered visit has one,
+  /// so a kNoEntry overlay entry — a processor the index has never seen —
+  /// can never match).
+  [[nodiscard]] const Entry* find_index(std::uint32_t index) const {
+    for (const Entry& e : entries) {
+      if (e.index == index) return &e;
+    }
+    return nullptr;
+  }
 };
 
 }  // namespace
 
-void AdmissionIndex::Footprint::accumulate(double x) {
-  const double y = x - lhs_comp;
-  const double t = lhs + y;
-  lhs_comp = (t - lhs) - y;
-  lhs = t;
-}
+AdmissionIndex::AdmissionIndex(util::MonotonicArena* arena)
+    : own_arena_(arena == nullptr ? new util::MonotonicArena() : nullptr),
+      arena_(arena == nullptr ? own_arena_.get() : arena) {}
 
-const AdmissionIndex::Visit* AdmissionIndex::Footprint::visit(
-    ProcessorId proc) const {
-  for (const Visit& v : visits) {
-    if (v.proc == proc) return &v;
-  }
-  return nullptr;
+std::uint32_t AdmissionIndex::intern(ProcessorId proc) {
+  const std::uint32_t found = proc_index_.lookup(proc.value());
+  if (found != kNoEntry) return found;
+  const auto entry = static_cast<std::uint32_t>(proc_ids_.size());
+  proc_index_.insert(proc.value(), entry);
+  proc_ids_.push_back(proc);
+  term_.push_back(0.0);
+  proc_saturated_.push_back(0);
+  members_.emplace_back();
+  return entry;
 }
 
 FootprintId AdmissionIndex::add_footprint(
-    TaskId task, const std::vector<ProcessorId>& processors,
+    TaskId task, std::span<const ProcessorId> processors,
     const UtilizationLedger& ledger) {
-  const std::uint64_t key = next_id_++;
-  Footprint footprint;
-  footprint.task = task;
+  const auto [slot, fresh] = slots_.acquire();
+  if (fresh) {
+    task_.push_back(task);
+    round_.push_back(0);
+    visits_.emplace_back();
+  } else {
+    task_[slot] = task;
+    round_[slot] = 0;
+    visits_[slot].clear();  // keeps any spill buffer for reuse
+  }
+  util::SmallVec<Visit, 4>& visits = visits_[slot];
   for (const ProcessorId proc : processors) {
     assert(proc.valid());
+    const std::uint32_t entry = intern(proc);
     bool merged = false;
-    for (Visit& v : footprint.visits) {
-      if (v.proc == proc) {
+    for (Visit& v : visits) {
+      if (v.entry == entry) {
         ++v.count;
         merged = true;
         break;
       }
     }
-    if (!merged) footprint.visits.push_back({proc, 1, 0});
+    if (!merged) visits.push_back({entry, 1, 0}, *arena_);
   }
-  for (Visit& v : footprint.visits) {
-    auto [it, inserted] = procs_.try_emplace(v.proc);
-    ProcEntry& entry = it->second;
-    if (inserted) {
-      const double total = ledger.total(v.proc);
-      entry.term = term_of(total);
-      entry.saturated = is_saturated(total);
+  for (Visit& v : visits) {
+    std::vector<std::uint32_t>& members = members_[v.entry];
+    if (members.empty()) {
+      // First member (again): sync the entry's term from the ledger.  A
+      // memberless entry skips refresh(), so its term may be stale.
+      const double total = ledger.total(proc_ids_[v.entry]);
+      term_[v.entry] = term_of(total);
+      proc_saturated_[v.entry] = is_saturated(total) ? 1 : 0;
     }
-    v.member_slot = static_cast<std::uint32_t>(entry.members.size());
-    entry.members.push_back(key);
-    if (entry.saturated) {
-      footprint.saturated += v.count;
-    } else {
-      footprint.accumulate(v.count * entry.term);
-    }
+    v.member_slot = static_cast<std::uint32_t>(members.size());
+    members.push_back(slot);
   }
-  footprints_.emplace(key, std::move(footprint));
-  return FootprintId(key);
+  return FootprintId(slots_.handle(slot));
 }
 
 void AdmissionIndex::remove_footprint(FootprintId id) {
-  if (!id.valid()) return;
-  const auto it = footprints_.find(id.v_);
-  if (it == footprints_.end()) return;
-  for (const Visit& v : it->second.visits) {
-    const auto pit = procs_.find(v.proc);
-    assert(pit != procs_.end());
-    std::vector<std::uint64_t>& members = pit->second.members;
-    assert(v.member_slot < members.size() &&
-           members[v.member_slot] == it->first);
-    const std::uint64_t moved = members.back();
+  const std::uint32_t slot = slots_.slot_of(id.v_);
+  if (slot == util::SlotAllocator::kNoSlot) return;
+  for (const Visit& v : visits_[slot]) {
+    std::vector<std::uint32_t>& members = members_[v.entry];
+    assert(v.member_slot < members.size() && members[v.member_slot] == slot);
+    const std::uint32_t moved = members.back();
     members[v.member_slot] = moved;
     members.pop_back();
-    if (moved != it->first) {
+    if (moved != slot) {
       // Fix the swapped-in footprint's back-pointer for this processor.
-      Footprint& other = footprints_.at(moved);
-      for (Visit& ov : other.visits) {
-        if (ov.proc == v.proc) {
+      for (Visit& ov : visits_[moved]) {
+        if (ov.entry == v.entry) {
           ov.member_slot = v.member_slot;
           break;
         }
       }
     }
-    if (members.empty()) procs_.erase(pit);
+    // The proc entry stays (members vector capacity and all); its term is
+    // re-synced from the ledger when the next footprint joins it.
   }
-  footprints_.erase(it);
+  slots_.release(slot);
 }
 
 void AdmissionIndex::refresh(ProcessorId proc,
                              const UtilizationLedger& ledger) {
-  const auto pit = procs_.find(proc);
-  if (pit == procs_.end()) return;
-  ProcEntry& entry = pit->second;
+  const std::uint32_t entry = proc_index_.lookup(proc.value());
+  if (entry == kNoEntry) return;
+  if (members_[entry].empty()) return;  // re-synced on the next join
   const double total = ledger.total(proc);
-  const double new_term = term_of(total);
-  const bool new_saturated = is_saturated(total);
-  if (new_term == entry.term && new_saturated == entry.saturated) return;
-  for (const std::uint64_t key : entry.members) {
-    Footprint& footprint = footprints_.at(key);
-    const Visit* v = footprint.visit(proc);
-    assert(v != nullptr);
-    const double count = static_cast<double>(v->count);
-    if (entry.saturated && !new_saturated) {
-      footprint.saturated -= v->count;
-      footprint.accumulate(count * new_term);
-    } else if (!entry.saturated && new_saturated) {
-      footprint.saturated += v->count;
-      footprint.accumulate(-count * entry.term);
-    } else if (!new_saturated) {
-      footprint.accumulate(count * (new_term - entry.term));
-    }
-  }
-  entry.term = new_term;
-  entry.saturated = new_saturated;
+  term_[entry] = term_of(total);
+  proc_saturated_[entry] = is_saturated(total) ? 1 : 0;
 }
 
 double AdmissionIndex::cached_lhs(FootprintId id) const {
-  const auto it = footprints_.find(id.v_);
-  assert(it != footprints_.end());
-  if (it == footprints_.end()) return 0.0;
-  return it->second.saturated > 0 ? kAubUnsatisfiable : it->second.lhs;
+  const std::uint32_t slot = slots_.slot_of(id.v_);
+  assert(slot != util::SlotAllocator::kNoSlot);
+  if (slot == util::SlotAllocator::kNoSlot) return 0.0;
+  double lhs = 0.0;
+  for (const Visit& v : visits_[slot]) {
+    if (proc_saturated_[v.entry] != 0) return kAubUnsatisfiable;
+    lhs += v.count * term_[v.entry];
+  }
+  return lhs;
 }
 
 std::size_t AdmissionIndex::fanout(ProcessorId proc) const {
-  const auto it = procs_.find(proc);
-  return it == procs_.end() ? 0 : it->second.members.size();
+  const std::uint32_t entry = proc_index_.lookup(proc.value());
+  return entry == kNoEntry ? 0 : members_[entry].size();
+}
+
+std::size_t AdmissionIndex::footprint_bytes() const {
+  std::size_t bytes =
+      slots_.footprint_bytes() + task_.capacity() * sizeof(TaskId) +
+      round_.capacity() * sizeof(std::uint64_t) +
+      visits_.capacity() * sizeof(util::SmallVec<Visit, 4>) +
+      proc_index_.footprint_bytes() +
+      proc_ids_.capacity() * sizeof(ProcessorId) +
+      term_.capacity() * sizeof(double) + proc_saturated_.capacity() +
+      members_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const std::vector<std::uint32_t>& m : members_) {
+    bytes += m.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
 }
 
 AdmissionDecision AdmissionIndex::admission_test(
@@ -174,6 +188,9 @@ AdmissionDecision AdmissionIndex::admission_test(
     assert(s.processor.valid());
     assert(s.utilization >= 0.0);
     overlay.add(s.processor, s.utilization);
+  }
+  for (Overlay::Entry& o : overlay.entries) {
+    o.index = proc_index_.lookup(o.proc.value());
   }
 
   // The candidate itself, with the same per-stage arithmetic as the
@@ -196,37 +213,36 @@ AdmissionDecision AdmissionIndex::admission_test(
 
   // Only footprints sharing a processor with the candidate can change LHS;
   // everything else passed when it was last affected and is bitwise
-  // unchanged by this overlay.
-  ++round_;
+  // unchanged by this overlay.  Each affected footprint's LHS is summed
+  // from its visit list — overlaid processors at their tentative terms,
+  // the rest at their (always current) cached terms.
+  ++round_counter_;
   for (const Overlay::Entry& o : overlay.entries) {
-    const auto pit = procs_.find(o.proc);
-    if (pit == procs_.end()) continue;
-    for (const std::uint64_t key : pit->second.members) {
-      const Footprint& footprint = footprints_.at(key);
-      if (footprint.round == round_) continue;
-      footprint.round = round_;
-      double lhs;
-      if (footprint.saturated > 0) {
-        lhs = kAubUnsatisfiable;
-      } else {
-        // Cached partial, with the overlaid processors' terms swapped for
-        // their tentative values: O(footprint ∩ candidate) per footprint.
-        lhs = footprint.lhs;
-        for (const Visit& v : footprint.visits) {
-          const double* amount = overlay.find(v.proc);
-          if (amount == nullptr) continue;
-          const double u = ledger.total(v.proc) + *amount;
+    if (o.index == kNoEntry) continue;
+    for (const std::uint32_t slot : members_[o.index]) {
+      if (round_[slot] == round_counter_) continue;
+      round_[slot] = round_counter_;
+      double lhs = 0.0;
+      for (const Visit& v : visits_[slot]) {
+        const Overlay::Entry* a = overlay.find_index(v.entry);
+        if (a != nullptr) {
+          const double u = ledger.total(a->proc) + a->amount;
           if (u >= 1.0 - kAubEpsilon) {
             lhs = kAubUnsatisfiable;
             break;
           }
-          lhs += v.count * (aub_term(u) - procs_.at(v.proc).term);
+          lhs += v.count * aub_term(u);
+        } else if (proc_saturated_[v.entry] != 0) {
+          lhs = kAubUnsatisfiable;
+          break;
+        } else {
+          lhs += v.count * term_[v.entry];
         }
       }
       if (lhs > 1.0 + kAubEpsilon) {
         decision.admitted = false;
         decision.failed_on_existing = true;
-        decision.blocking_task = footprint.task;
+        decision.blocking_task = task_[slot];
         return decision;
       }
     }

@@ -9,12 +9,21 @@
 //
 // This index maintains, on top of the ledger's totals:
 //   - per-processor aUB-term aggregates: aub_term(U_p), recomputed exactly
-//     once whenever a processor's total changes;
-//   - an inverted processor -> footprints map, so the footprints affected
+//     once — in O(1) — whenever a processor's total changes;
+//   - an inverted processor -> footprints index, so the footprints affected
 //     by a candidate are found in O(candidate footprint), not O(task set);
-//   - per-footprint cached LHS partials (compensated sums of count x term
-//     over the footprint's distinct processors), updated by delta when a
-//     visited processor's term changes.
+//   - per-footprint visit lists (distinct processor, visit count), from
+//     which a footprint's LHS is summed on demand: at most a handful of
+//     count x term products per affected footprint, read against terms that
+//     are always current.
+//
+// Terms are *lazy*: a ledger change costs O(1) per touched processor
+// (refresh just stores the new term), and the O(fan-out) work of judging
+// the footprints on that processor is deferred to the admission tests that
+// actually need it — whose member loop walks each affected footprint's
+// visit list anyway to resolve the candidate overlay, so summing the LHS
+// there adds no extra memory traffic.  This is what makes admit/expire
+// churn O(stages) per job instead of O(stages x fan-out).
 //
 // admission_test() then evaluates Equation (1) for the candidate plus only
 // the affected footprints.  Skipping the rest is sound because the book of
@@ -24,15 +33,27 @@
 // LHS is bitwise unchanged by a candidate that shares no processor with it.
 // The reference test remains available as a cross-check oracle
 // (RTCM_CHECK_ADMISSION_ORACLE in core/admission_control.cpp).
+//
+// Storage is struct-of-arrays: footprints live in a generation-counted
+// slab (parallel task / lhs / saturation / visit columns; FootprintId is
+// the packed slab handle), processors in dense entries addressed by an
+// id -> slot table, and each footprint's visit list sits inline in its row
+// (<= 4 distinct processors) spilling into the owning cell's
+// MonotonicArena beyond that.  Admit/expire churn at fixed capacity is
+// allocation-free once the slab is warm.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sched/aub.h"
 #include "sched/utilization_ledger.h"
+#include "util/arena.h"
 #include "util/ids.h"
+#include "util/slab.h"
+#include "util/small_vec.h"
 
 namespace rtcm::sched {
 
@@ -52,21 +73,25 @@ class FootprintId {
 
 class AdmissionIndex {
  public:
+  /// Spill storage for visit lists longer than the inline capacity comes
+  /// from `arena` (a cell-lifetime bump allocator); when null, the index
+  /// owns a private arena — convenient for standalone unit-test use.
+  explicit AdmissionIndex(util::MonotonicArena* arena = nullptr);
+
   /// Register an admitted footprint (the ledger contributions for it must
-  /// already be in place and refresh()ed, so the cached partials are built
-  /// from current terms).  Repeated processors are allowed and weigh the
-  /// per-visit terms accordingly, exactly like aub_lhs().
+  /// already be in place and refresh()ed, so its processors' cached terms
+  /// are current).  Repeated processors are allowed and weigh the per-visit
+  /// terms accordingly, exactly like aub_lhs().
   [[nodiscard]] FootprintId add_footprint(
-      TaskId task, const std::vector<ProcessorId>& processors,
+      TaskId task, std::span<const ProcessorId> processors,
       const UtilizationLedger& ledger);
 
-  /// Unregister a footprint (idempotent for inert handles).
+  /// Unregister a footprint (idempotent for inert or stale handles).
   void remove_footprint(FootprintId id);
 
-  /// Re-sync the cached aUB term of `proc` after its ledger total changed,
-  /// pushing the term delta into every member footprint's cached LHS.
-  /// O(footprints touching proc); a no-op for processors no footprint
-  /// visits (their terms are computed on demand by admission_test).
+  /// Re-sync the cached aUB term of `proc` after its ledger total changed.
+  /// O(1); a no-op for processors no footprint currently visits (their
+  /// terms are re-synced when the next footprint joins them).
   void refresh(ProcessorId proc, const UtilizationLedger& ledger);
 
   /// Equation (1) for `candidate` placed per `stages`, re-checked only for
@@ -77,56 +102,59 @@ class AdmissionIndex {
       const UtilizationLedger& ledger, TaskId candidate,
       const std::vector<CandidateStage>& stages) const;
 
-  /// Cached LHS of a registered footprint at the current ledger totals
+  /// LHS of a registered footprint at the current ledger totals, summed
+  /// from its visit list and the cached per-processor terms
   /// (kAubUnsatisfiable when it visits a saturated processor).  The
   /// property tests compare this against a fresh aub_lhs() recompute.
   [[nodiscard]] double cached_lhs(FootprintId id) const;
 
   /// Number of registered footprints.
-  [[nodiscard]] std::size_t footprint_count() const {
-    return footprints_.size();
-  }
+  [[nodiscard]] std::size_t footprint_count() const { return slots_.live(); }
 
   /// Footprints registered on one processor (the inverted-index fan-out a
   /// candidate stage there would have to re-test).
   [[nodiscard]] std::size_t fanout(ProcessorId proc) const;
 
+  /// Heap bytes held by the index's slab columns and proc entries (the
+  /// bench's bytes-per-resident-task accounting; arena spill is counted by
+  /// the arena's owner).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
  private:
   struct Visit {
-    ProcessorId proc;
-    std::uint32_t count = 0;        // visits of this footprint to proc
-    std::uint32_t member_slot = 0;  // position in ProcEntry::members
+    std::uint32_t entry = 0;        // dense proc-entry index
+    std::uint32_t count = 0;        // visits of this footprint to the proc
+    std::uint32_t member_slot = 0;  // position in members_[entry]
   };
+  static constexpr std::uint32_t kNoEntry = util::IdSlotMap::kNoSlot;
 
-  struct Footprint {
-    TaskId task;
-    std::vector<Visit> visits;  // one entry per distinct processor
-    /// Compensated (Kahan) sum of count x term over non-saturated visited
-    /// processors, so delta updates stay within recompute tolerance over
-    /// arbitrarily long add/remove/reset interleavings.
-    double lhs = 0.0;
-    double lhs_comp = 0.0;
-    /// Visit weight on saturated processors; nonzero means the LHS is
-    /// kAubUnsatisfiable regardless of the finite partials.
-    std::uint32_t saturated = 0;
-    /// admission_test() round marker, so a footprint spanning several of
-    /// the candidate's processors is tested once per arrival.
-    mutable std::uint64_t round = 0;
+  /// Dense proc entry of `proc`, created (term unset) on first sight.
+  std::uint32_t intern(ProcessorId proc);
 
-    void accumulate(double x);
-    [[nodiscard]] const Visit* visit(ProcessorId proc) const;
-  };
+  // Footprint slab: parallel columns indexed by slot (FootprintId packs
+  // slot + generation; released rows are reused via slots_).
+  util::SlotAllocator slots_;
+  std::vector<TaskId> task_;
+  /// admission_test() round markers, so a footprint spanning several of
+  /// the candidate's processors is tested once per arrival.
+  mutable std::vector<std::uint64_t> round_;
+  /// One Visit per distinct processor, inline up to 4, arena spill beyond.
+  std::vector<util::SmallVec<Visit, 4>> visits_;
 
-  struct ProcEntry {
-    double term = 0.0;  // aub_term(total), or kAubUnsatisfiable
-    bool saturated = false;
-    std::vector<std::uint64_t> members;  // footprint keys touching proc
-  };
+  // Dense proc entries (persistent: a processor keeps its entry — and its
+  // members vector's grown capacity — after its last member leaves, so
+  // steady-state churn never reallocates).  term is recomputed from the
+  // ledger whenever a footprint joins an empty entry, exactly like the
+  // map-backed index recomputed it on (re)insert.
+  util::IdSlotMap proc_index_;
+  std::vector<ProcessorId> proc_ids_;
+  std::vector<double> term_;  // aub_term(total), or kAubUnsatisfiable
+  std::vector<std::uint8_t> proc_saturated_;
+  std::vector<std::vector<std::uint32_t>> members_;  // footprint slots
 
-  std::uint64_t next_id_ = 1;
-  mutable std::uint64_t round_ = 0;
-  std::unordered_map<std::uint64_t, Footprint> footprints_;
-  std::unordered_map<ProcessorId, ProcEntry> procs_;
+  mutable std::uint64_t round_counter_ = 0;
+  std::unique_ptr<util::MonotonicArena> own_arena_;
+  util::MonotonicArena* arena_;
 };
 
 }  // namespace rtcm::sched

@@ -5,24 +5,41 @@
 
 namespace rtcm::sched {
 
+std::uint32_t UtilizationLedger::intern(ProcessorId proc) {
+  const std::uint32_t found = proc_index_.lookup(proc.value());
+  if (found != kNoSlot) return found;
+  const auto slot = static_cast<std::uint32_t>(proc_ids_.size());
+  proc_index_.insert(proc.value(), slot);
+  proc_ids_.push_back(proc);
+  totals_.push_back(0.0);
+  live_counts_.push_back(0);
+  return slot;
+}
+
 ContributionId UtilizationLedger::add(ProcessorId proc, double amount) {
   assert(proc.valid());
   assert(amount >= 0.0);
-  const std::uint64_t id = next_id_++;
-  entries_.emplace(id, Entry{proc, amount});
-  totals_[proc] += amount;
-  ++live_counts_[proc];
-  return ContributionId(id);
+  const std::uint32_t proc_slot = intern(proc);
+  totals_[proc_slot] += amount;
+  ++live_counts_[proc_slot];
+  const auto [slot, fresh] = entries_.acquire();
+  if (fresh) {
+    entry_proc_.push_back(proc_slot);
+    entry_amount_.push_back(amount);
+  } else {
+    entry_proc_[slot] = proc_slot;
+    entry_amount_[slot] = amount;
+  }
+  return ContributionId(entries_.handle(slot));
 }
 
 bool UtilizationLedger::remove(ContributionId id) {
-  if (!id.valid()) return false;
-  const auto it = entries_.find(id.v_);
-  if (it == entries_.end()) return false;
-  const ProcessorId proc = it->second.proc;
-  auto& total = totals_[proc];
-  total -= it->second.amount;
-  const std::size_t remaining = --live_counts_[proc];
+  const std::uint32_t slot = entries_.slot_of(id.v_);
+  if (slot == util::SlotAllocator::kNoSlot) return false;
+  const std::uint32_t proc_slot = entry_proc_[slot];
+  double& total = totals_[proc_slot];
+  total -= entry_amount_[slot];
+  const std::uint32_t remaining = --live_counts_[proc_slot];
   if (remaining == 0) {
     // A processor whose last live contribution is removed snaps to exactly
     // zero (drift residue would otherwise leak into later admission tests
@@ -36,28 +53,33 @@ bool UtilizationLedger::remove(ContributionId id) {
     assert(total > -1e-9 && "ledger total negative with live contributions");
     total = 0.0;
   }
-  entries_.erase(it);
+  entries_.release(slot);
   return true;
-}
-
-double UtilizationLedger::total(ProcessorId proc) const {
-  const auto it = totals_.find(proc);
-  return it == totals_.end() ? 0.0 : it->second;
 }
 
 double UtilizationLedger::total_all() const {
   double sum = 0;
-  for (const auto& [proc, total] : totals_) sum += total;
+  for (const double total : totals_) sum += total;
   return sum;
 }
 
 std::vector<ProcessorId> UtilizationLedger::processors() const {
   std::vector<ProcessorId> out;
-  for (const auto& [proc, total] : totals_) {
-    if (total > 0.0) out.push_back(proc);
+  for (std::size_t slot = 0; slot < totals_.size(); ++slot) {
+    if (totals_[slot] > 0.0) out.push_back(proc_ids_[slot]);
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::size_t UtilizationLedger::footprint_bytes() const {
+  return proc_index_.footprint_bytes() +
+         proc_ids_.capacity() * sizeof(ProcessorId) +
+         totals_.capacity() * sizeof(double) +
+         live_counts_.capacity() * sizeof(std::uint32_t) +
+         entries_.footprint_bytes() +
+         entry_proc_.capacity() * sizeof(std::uint32_t) +
+         entry_amount_.capacity() * sizeof(double);
 }
 
 }  // namespace rtcm::sched

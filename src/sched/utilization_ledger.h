@@ -8,13 +8,24 @@
 // resetting).  Each add() returns a handle so the owner can remove exactly
 // the contribution it created — the same subtask can have many live
 // contributions at once (one per in-flight job).
+//
+// Storage is struct-of-arrays: processors are interned into dense slots
+// (an id -> slot remap table plus flat total / live-count arrays; slots
+// persist for the ledger's lifetime), and contributions live in a
+// generation-counted slab whose packed handles are the ContributionIds.
+// At steady state — fixed resident capacity, contributions churning — no
+// path here allocates: released slab rows are reused, and the remap table
+// only grows when a never-seen processor appears.  The dense slots are
+// public (proc_slot() / total_at()) so the AdmissionIndex and the
+// scheduling state can key their own per-processor arrays off the same
+// remap instead of hashing ProcessorIds again.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/ids.h"
+#include "util/slab.h"
 
 namespace rtcm::sched {
 
@@ -34,6 +45,8 @@ class ContributionId {
 
 class UtilizationLedger {
  public:
+  static constexpr std::uint32_t kNoSlot = util::IdSlotMap::kNoSlot;
+
   /// Register `amount` of synthetic utilization on `proc` (amount >= 0).
   [[nodiscard]] ContributionId add(ProcessorId proc, double amount);
 
@@ -43,29 +56,62 @@ class UtilizationLedger {
   bool remove(ContributionId id);
 
   /// Current synthetic utilization of one processor.
-  [[nodiscard]] double total(ProcessorId proc) const;
+  [[nodiscard]] double total(ProcessorId proc) const {
+    const std::uint32_t slot = proc_index_.lookup(proc.value());
+    return slot == kNoSlot ? 0.0 : totals_[slot];
+  }
 
   /// Sum across all processors.
   [[nodiscard]] double total_all() const;
 
   /// Number of live contributions.
-  [[nodiscard]] std::size_t live() const { return entries_.size(); }
+  [[nodiscard]] std::size_t live() const { return entries_.live(); }
 
-  /// Processors with a nonzero recorded total (sorted).
+  /// Processors with a nonzero recorded total (sorted: callers render
+  /// these into traces and reports, so the order is part of the
+  /// determinism contract — pinned by LedgerTest.ProcessorsOrderIsSorted).
   [[nodiscard]] std::vector<ProcessorId> processors() const;
 
- private:
-  struct Entry {
-    ProcessorId proc;
-    double amount;
-  };
+  // --- Dense processor slots ----------------------------------------------
+  //
+  // Slots are assigned in first-seen order and never recycled; consumers
+  // (AdmissionIndex, SchedulingState's per-processor job index) size their
+  // own flat arrays by proc_slot_count() and index them with proc_slot().
 
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::unordered_map<ProcessorId, double> totals_;
+  /// Dense slot of `proc`, or kNoSlot if it never carried a contribution.
+  [[nodiscard]] std::uint32_t proc_slot(ProcessorId proc) const {
+    return proc_index_.lookup(proc.value());
+  }
+  [[nodiscard]] std::size_t proc_slot_count() const {
+    return proc_ids_.size();
+  }
+  [[nodiscard]] ProcessorId proc_at(std::uint32_t slot) const {
+    return proc_ids_[slot];
+  }
+  [[nodiscard]] double total_at(std::uint32_t slot) const {
+    return totals_[slot];
+  }
+
+  /// Heap bytes held by the ledger's arrays (the bytes-per-resident-task
+  /// accounting in bench/admission_scale.cpp).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  /// Dense slot of `proc`, interning it on first sight.
+  std::uint32_t intern(ProcessorId proc);
+
+  // Processor remap + flat per-processor columns (parallel, same length).
+  util::IdSlotMap proc_index_;
+  std::vector<ProcessorId> proc_ids_;
+  std::vector<double> totals_;
   /// Live contributions per processor, so totals snap to exactly zero when
   /// the last one is removed (no floating-point residue).
-  std::unordered_map<ProcessorId, std::size_t> live_counts_;
+  std::vector<std::uint32_t> live_counts_;
+
+  // Contribution slab (parallel columns indexed by slot).
+  util::SlotAllocator entries_;
+  std::vector<std::uint32_t> entry_proc_;  // dense processor slot
+  std::vector<double> entry_amount_;
 };
 
 }  // namespace rtcm::sched

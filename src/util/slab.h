@@ -1,0 +1,196 @@
+// Slab building blocks for struct-of-arrays books of record.
+//
+// IdSlotMap: open-addressing hash map from a non-negative int32 id (the
+// value() of a ProcessorId/TaskId/JobId) to a dense uint32 slot.  Linear
+// probing with backshift deletion — erases restore the table to exactly the
+// state the remaining keys would produce, so there are no tombstones and a
+// fixed-capacity workload never re-hashes at steady state (the zero-alloc
+// admission-churn contract in tests/sim_alloc_test.cpp rests on this).
+//
+// SlotAllocator: free-list slot manager with per-slot generation counters.
+// Handles pack (generation << 32) | (slot + 1) so a default-constructed 0
+// stays inert; releasing a slot bumps its generation, which invalidates
+// every outstanding handle to it before the slot is reused.  This is the
+// same staleness discipline the event queue's slab (PR 4) uses.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rtcm::util {
+
+class IdSlotMap {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t lookup(std::int32_t key) const {
+    if (keys_.empty()) return kNoSlot;
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return slots_[i];
+      i = (i + 1) & mask();
+    }
+    return kNoSlot;
+  }
+
+  [[nodiscard]] bool contains(std::int32_t key) const {
+    return lookup(key) != kNoSlot;
+  }
+
+  /// `key` must be absent.
+  void insert(std::int32_t key, std::uint32_t slot) {
+    assert(key >= 0);
+    // Grow at 70% load, so probe chains stay short and a fixed-size
+    // working set stops rehashing once warm.
+    if (keys_.empty() || (size_ + 1) * 10 >= keys_.size() * 7) grow();
+    std::size_t i = home(key);
+    while (keys_[i] != kEmpty) {
+      assert(keys_[i] != key && "IdSlotMap::insert of a present key");
+      i = (i + 1) & mask();
+    }
+    keys_[i] = key;
+    slots_[i] = slot;
+    ++size_;
+  }
+
+  /// `key` must be present (slab swap-with-last moved its row).
+  void update(std::int32_t key, std::uint32_t slot) {
+    std::size_t i = home(key);
+    while (keys_[i] != key) {
+      assert(keys_[i] != kEmpty && "IdSlotMap::update of an absent key");
+      i = (i + 1) & mask();
+    }
+    slots_[i] = slot;
+  }
+
+  bool erase(std::int32_t key) {
+    if (keys_.empty()) return false;
+    std::size_t i = home(key);
+    while (keys_[i] != key) {
+      if (keys_[i] == kEmpty) return false;
+      i = (i + 1) & mask();
+    }
+    keys_[i] = kEmpty;
+    --size_;
+    // Backshift: pull every displaced follower of the probe chain into the
+    // hole unless its home position lies strictly behind the hole.
+    std::size_t hole = i;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask();
+      if (keys_[j] == kEmpty) break;
+      const std::size_t h = home(keys_[j]);
+      if (((j - h) & mask()) >= ((j - hole) & mask())) {
+        keys_[hole] = keys_[j];
+        slots_[hole] = slots_[j];
+        keys_[j] = kEmpty;
+        hole = j;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return keys_.capacity() * sizeof(std::int32_t) +
+           slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  static constexpr std::int32_t kEmpty = -1;  // ids are non-negative
+
+  [[nodiscard]] std::size_t mask() const { return keys_.size() - 1; }
+  [[nodiscard]] std::size_t home(std::int32_t key) const {
+    // Fibonacci-style multiplicative mix: sequential ids spread instead of
+    // clustering into one probe run.
+    return (static_cast<std::uint32_t>(key) * 2654435761u) & mask();
+  }
+
+  void grow() {
+    const std::size_t capacity = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<std::int32_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_slots = std::move(slots_);
+    keys_.assign(capacity, kEmpty);
+    slots_.assign(capacity, 0);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      std::size_t j = home(old_keys[i]);
+      while (keys_[j] != kEmpty) j = (j + 1) & mask();
+      keys_[j] = old_keys[i];
+      slots_[j] = old_slots[i];
+    }
+  }
+
+  std::vector<std::int32_t> keys_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t size_ = 0;
+};
+
+class SlotAllocator {
+ public:
+  struct Acquired {
+    std::uint32_t slot;
+    /// True when the slot extends the slab (caller must push_back every
+    /// column); false when it reuses a released row (overwrite in place).
+    bool fresh;
+  };
+
+  [[nodiscard]] Acquired acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return {slot, false};
+    }
+    generations_.push_back(0);
+    return {static_cast<std::uint32_t>(generations_.size() - 1), true};
+  }
+
+  void release(std::uint32_t slot) {
+    assert(slot < generations_.size());
+    ++generations_[slot];  // outstanding handles to this slot go stale
+    free_.push_back(slot);
+  }
+
+  /// Packed handle for a currently-acquired slot; 0 never occurs.
+  [[nodiscard]] std::uint64_t handle(std::uint32_t slot) const {
+    assert(slot < generations_.size());
+    return (static_cast<std::uint64_t>(generations_[slot]) << 32) |
+           (slot + 1u);
+  }
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// The handle's slot, or kNoSlot when the handle is inert or stale (its
+  /// slot was released — and possibly reacquired under a newer
+  /// generation — since handle()).
+  [[nodiscard]] std::uint32_t slot_of(std::uint64_t handle) const {
+    const std::uint32_t low = static_cast<std::uint32_t>(handle);
+    if (low == 0) return kNoSlot;
+    const std::uint32_t slot = low - 1;
+    if (slot >= generations_.size() ||
+        generations_[slot] != static_cast<std::uint32_t>(handle >> 32)) {
+      return kNoSlot;
+    }
+    return slot;
+  }
+
+  /// Slots currently acquired.
+  [[nodiscard]] std::size_t live() const {
+    return generations_.size() - free_.size();
+  }
+  /// Total slots ever created (the slab columns' length).
+  [[nodiscard]] std::size_t capacity() const { return generations_.size(); }
+
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return generations_.capacity() * sizeof(std::uint32_t) +
+           free_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> generations_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace rtcm::util

@@ -1,0 +1,123 @@
+// Small vector with inline storage and arena spill.
+//
+// The admission book's per-job placement / contribution / visit lists are
+// almost always short (<= 4 stages in every shipped scenario), so they live
+// inline in the slab row; the rare longer list spills into the owning
+// cell's MonotonicArena.  Spilled capacity is never returned — the arena
+// frees wholesale at cell teardown — which is exactly what makes
+// admit/expire churn at fixed capacity allocation-free: once a row's vec
+// has grown, clear() + push_back reuse the same spill buffer forever.
+//
+// Restricted to trivially-copyable T on purpose: rows move with memcpy
+// semantics (swap-with-last slab removal), and the destructor is trivial
+// because there is nothing to free.  The arena is passed at the mutation
+// site instead of stored per instance — one pointer per row times 10^6
+// rows is real memory.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "util/arena.h"
+
+namespace rtcm::util {
+
+template <typename T, std::uint32_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec rows relocate with memcpy");
+  static_assert(N > 0);
+
+ public:
+  // Activates the union's pointer member so construction stays well-formed
+  // for T with non-trivial default constructors; elements are only ever
+  // read after being written through push_back/assign.
+  SmallVec() : heap_(nullptr) {}
+
+  SmallVec(SmallVec&& other) noexcept { move_from(other); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+  [[nodiscard]] T* data() { return capacity_ == N ? inline_ : heap_; }
+  [[nodiscard]] const T* data() const {
+    return capacity_ == N ? inline_ : heap_;
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] T* begin() { return data(); }
+  [[nodiscard]] T* end() { return data() + size_; }
+  [[nodiscard]] const T* begin() const { return data(); }
+  [[nodiscard]] const T* end() const { return data() + size_; }
+
+  [[nodiscard]] std::span<const T> span() const { return {data(), size_}; }
+  [[nodiscard]] std::span<T> span() { return {data(), size_}; }
+
+  /// Keeps spilled capacity: steady-state refill is allocation-free.
+  void clear() { size_ = 0; }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void push_back(const T& value, MonotonicArena& arena) {
+    if (size_ == capacity_) grow(arena);
+    data()[size_++] = value;
+  }
+
+  void assign(std::span<const T> values, MonotonicArena& arena) {
+    clear();
+    for (const T& v : values) push_back(v, arena);
+  }
+
+ private:
+  void grow(MonotonicArena& arena) {
+    const std::uint32_t new_capacity = capacity_ * 2;
+    T* spill = arena.allocate_array<T>(new_capacity);
+    std::memcpy(static_cast<void*>(spill), data(), size_ * sizeof(T));
+    heap_ = spill;  // the old spill buffer (if any) stays in the arena
+    capacity_ = new_capacity;
+  }
+
+  void move_from(SmallVec& other) {
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    if (other.capacity_ == N) {
+      std::memcpy(static_cast<void*>(inline_), other.inline_,
+                  other.size_ * sizeof(T));
+    } else {
+      heap_ = other.heap_;
+    }
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = N;  // == N exactly while inline
+  union {
+    T inline_[N];
+    T* heap_;
+  };
+};
+
+}  // namespace rtcm::util

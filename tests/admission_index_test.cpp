@@ -145,8 +145,8 @@ TEST(IncrementalAubIndex, NonIntersectingFootprintsAreSkipped) {
   // The two-stage footprint passes Equation (1) right now (2 x term(0.35)
   // ~= 0.89), but a modest addition on either of its processors pushes it
   // over the bound.
-  (void)index.add_footprint(TaskId(1), {ProcessorId(0), ProcessorId(1)},
-                            ledger);
+  const std::vector<ProcessorId> footprint = {ProcessorId(0), ProcessorId(1)};
+  (void)index.add_footprint(TaskId(1), footprint, ledger);
 
   // A candidate on a fresh processor intersects nothing: the decision only
   // involves the candidate itself, and matches the reference rescan.
@@ -212,17 +212,23 @@ class ChurnDriver {
   /// recompute over its full placement.
   void verify_cached_lhs() {
     for (const auto& [job, spec] : jobs_) {
-      const auto* admission = state_.job(job);
-      ASSERT_NE(admission, nullptr);
+      const auto admission = state_.job(job);
+      ASSERT_TRUE(admission.has_value());
       EXPECT_NEAR(state_.admission_index().cached_lhs(admission->footprint),
-                  sched::aub_lhs(state_.ledger(), admission->placement),
+                  sched::aub_lhs(state_.ledger(),
+                                 {admission->placement.begin(),
+                                  admission->placement.end()}),
                   1e-12);
     }
-    for (const auto& [task, reservation] : state_.reservations()) {
-      EXPECT_NEAR(state_.admission_index().cached_lhs(reservation.footprint),
-                  sched::aub_lhs(state_.ledger(), reservation.placement),
-                  1e-12);
-    }
+    state_.for_each_reservation(
+        [&](const core::SchedulingState::ReservationView& reservation) {
+          EXPECT_NEAR(
+              state_.admission_index().cached_lhs(reservation.footprint),
+              sched::aub_lhs(state_.ledger(),
+                             {reservation.placement.begin(),
+                              reservation.placement.end()}),
+              1e-12);
+        });
   }
 
   /// A random candidate must get the same decision from the incremental

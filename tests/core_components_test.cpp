@@ -409,9 +409,9 @@ TEST(LoadBalancingTest, ReservationMoveUnderAcTaskLbJob) {
   rt->run_until(Time(Duration::milliseconds(190).usec()));
   EXPECT_GE(rt->admission_control()->counters().reservation_moves, 1u);
   // The reservation now sits on P1.
-  const auto* reservation =
+  const auto reservation =
       rt->admission_control()->state().reservation(TaskId(0));
-  ASSERT_NE(reservation, nullptr);
+  ASSERT_TRUE(reservation.has_value());
   EXPECT_EQ(reservation->placement[0], ProcessorId(1));
 }
 

@@ -295,10 +295,11 @@ TEST(ReconfigManagerTest, DrainMigratesReservationAndQuiescesLater) {
   // First arrival reserves T0 on its primary P0 and starts a 10 ms subjob.
   runtime->inject_arrival(TaskId(0), Time(0));
   runtime->run_until(Time(Duration::milliseconds(5).usec()));
-  const auto* reservation =
+  auto reservation =
       runtime->admission_control()->state().reservation(TaskId(0));
-  ASSERT_NE(reservation, nullptr);
-  EXPECT_EQ(reservation->placement, (std::vector<ProcessorId>{ProcessorId(0)}));
+  ASSERT_TRUE(reservation.has_value());
+  EXPECT_TRUE(std::ranges::equal(
+      reservation->placement, std::vector<ProcessorId>{ProcessorId(0)}));
 
   config::ModeChange change;
   change.at = runtime->simulator().now();
@@ -312,8 +313,9 @@ TEST(ReconfigManagerTest, DrainMigratesReservationAndQuiescesLater) {
 
   // The reservation moved to the duplicate; the ledger moved with it.
   reservation = runtime->admission_control()->state().reservation(TaskId(0));
-  ASSERT_NE(reservation, nullptr);
-  EXPECT_EQ(reservation->placement, (std::vector<ProcessorId>{ProcessorId(1)}));
+  ASSERT_TRUE(reservation.has_value());
+  EXPECT_TRUE(std::ranges::equal(
+      reservation->placement, std::vector<ProcessorId>{ProcessorId(1)}));
   const auto& ledger = runtime->admission_control()->state().ledger();
   EXPECT_DOUBLE_EQ(ledger.total(ProcessorId(0)), 0.0);
   EXPECT_NEAR(ledger.total(ProcessorId(1)), 0.1, 1e-12);
@@ -384,11 +386,9 @@ TEST(ReconfigManagerTest, GuaranteeViolatingDrainIsRejectedAtomically) {
   // Rolled back exactly: ledger, reservation placement, and future behavior.
   EXPECT_NEAR(ledger.total(ProcessorId(0)), 0.3, 1e-12);
   EXPECT_NEAR(ledger.total(ProcessorId(1)), 0.4, 1e-12);
-  EXPECT_EQ(runtime->admission_control()
-                ->state()
-                .reservation(TaskId(0))
-                ->placement,
-            (std::vector<ProcessorId>{ProcessorId(0)}));
+  EXPECT_TRUE(std::ranges::equal(
+      runtime->admission_control()->state().reservation(TaskId(0))->placement,
+      std::vector<ProcessorId>{ProcessorId(0)}));
   runtime->inject_arrival(TaskId(0), Time(Duration::milliseconds(100).usec()));
   runtime->run_until(Time(Duration::milliseconds(200).usec()));
   EXPECT_EQ(runtime->metrics().total().completions, 3u);

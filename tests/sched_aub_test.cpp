@@ -102,6 +102,22 @@ TEST(LedgerTest, ProcessorsListsNonZero) {
   EXPECT_EQ(procs[0], ProcessorId(3));
 }
 
+TEST(LedgerTest, ProcessorsOrderIsSorted) {
+  // processors() is part of the determinism contract: callers iterate it to
+  // place work and emit traces, so its order must be a function of the
+  // loaded set alone — ascending id — never of insertion or removal order.
+  UtilizationLedger ledger;
+  const auto a = ledger.add(ProcessorId(9), 0.1);
+  (void)ledger.add(ProcessorId(2), 0.1);
+  (void)ledger.add(ProcessorId(7), 0.1);
+  (void)ledger.add(ProcessorId(0), 0.1);
+  EXPECT_TRUE(ledger.remove(a));
+  (void)ledger.add(ProcessorId(9), 0.1);  // re-added after removal
+  const std::vector<ProcessorId> expected = {ProcessorId(0), ProcessorId(2),
+                                             ProcessorId(7), ProcessorId(9)};
+  EXPECT_EQ(ledger.processors(), expected);
+}
+
 // --- aub_term ---------------------------------------------------------------
 
 TEST(AubTermTest, KnownValues) {

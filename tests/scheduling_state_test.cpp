@@ -25,7 +25,7 @@ TEST(SchedulingStateTest, AdmitJobAddsStageContributions) {
   EXPECT_EQ(state.active_jobs(), 1u);
   EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.2, 1e-12);
   EXPECT_NEAR(state.ledger().total(ProcessorId(1)), 0.1, 1e-12);
-  ASSERT_NE(state.job(JobId(1)), nullptr);
+  ASSERT_TRUE(state.job(JobId(1)).has_value());
   EXPECT_EQ(state.job(JobId(1))->absolute_deadline, Time(100000));
 }
 
@@ -87,7 +87,7 @@ TEST(SchedulingStateTest, ReservationsAreImmuneToJobOperations) {
   EXPECT_FALSE(state.reset_subjob(JobId(0), 0));
   state.expire_job(JobId(0));
   EXPECT_NEAR(state.ledger().total(ProcessorId(0)), 0.2, 1e-12);
-  ASSERT_NE(state.reservation(TaskId(0)), nullptr);
+  ASSERT_TRUE(state.reservation(TaskId(0)).has_value());
   EXPECT_EQ(state.reservation(TaskId(0))->placement[1], ProcessorId(1));
 }
 

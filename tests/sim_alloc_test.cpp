@@ -31,8 +31,10 @@
 #include <string>
 #include <utility>
 
+#include "core/scheduling_state.h"
 #include "sim/processor.h"
 #include "sim/simulator.h"
+#include "test_helpers.h"
 #include "util/inline_fn.h"
 #include "util/time.h"
 
@@ -225,3 +227,97 @@ TEST_P(SimAllocTest, ProcessorCompletionPathAllocationFree) {
 
 }  // namespace
 }  // namespace rtcm::sim
+
+namespace rtcm::core {
+namespace {
+
+// The admission book of record makes the same contract as the event path:
+// admit/expire/reset churn at fixed resident capacity allocates nothing
+// once the slabs, id tables and arena spill are warm
+// (core/scheduling_state.h).  Same rehearse-then-measure discipline — the
+// first churn pass grows every structure to its steady-state footprint,
+// the second must not touch the heap.  This binary registers under both
+// sim kernels (CMake's .heap_kernel suffix), so the contract is pinned in
+// both configurations even though the book itself is kernel-independent.
+TEST(AdmissionAllocTest, AdmitExpireResetChurnAllocationFree) {
+  SchedulingState state;
+
+  // Specs are prebuilt: TaskSpec construction allocates and is not part of
+  // the churn contract.
+  std::vector<sched::TaskSpec> specs;
+  for (std::int32_t t = 0; t < 8; ++t) {
+    specs.push_back(rtcm::testing::make_periodic(
+        t, Duration::milliseconds(100),
+        {{t % 4, 2000}, {(t + 1) % 4, 1000}}));
+  }
+
+  constexpr std::size_t kResident = 64;
+  std::array<JobId, kResident> live{};
+  std::array<ProcessorId, 2> placement{};
+  std::int32_t next_job = 0;
+  const auto admit_one = [&](std::size_t i) {
+    const sched::TaskSpec& spec =
+        specs[static_cast<std::size_t>(next_job) % specs.size()];
+    placement = {spec.subtasks[0].primary, spec.subtasks[1].primary};
+    const JobId job(next_job++);
+    state.admit_job(spec, job, std::span<const ProcessorId>(placement),
+                    Time(100000 + next_job));
+    live[i] = job;
+  };
+  for (std::size_t i = 0; i < kResident; ++i) admit_one(i);
+
+  std::size_t head = 0;
+  const auto churn = [&] {
+    for (int cycle = 0; cycle < 2048; ++cycle) {
+      // Every 4th cycle exercises idle resetting before the expiry, so the
+      // partial-removal path is part of the steady state too.
+      if (cycle % 4 == 3) (void)state.reset_subjob(live[head], 0);
+      state.expire_job(live[head]);
+      admit_one(head);
+      head = (head + 1) % kResident;
+    }
+  };
+  churn();  // rehearsal: slabs, id tables and spill reach steady state
+
+  const std::uint64_t before = allocation_count();
+  churn();
+  EXPECT_EQ(allocation_count() - before, 0u);
+  EXPECT_EQ(state.active_jobs(), kResident);
+}
+
+// Reservations (AC per Task) ride the same slabs; reserve/release churn at
+// fixed capacity must be allocation-free as well.
+TEST(AdmissionAllocTest, ReserveReleaseChurnAllocationFree) {
+  SchedulingState state;
+  std::vector<sched::TaskSpec> specs;
+  for (std::int32_t t = 0; t < 16; ++t) {
+    specs.push_back(rtcm::testing::make_periodic(
+        t, Duration::milliseconds(100),
+        {{t % 4, 2000}, {(t + 2) % 4, 1000}}));
+  }
+
+  std::array<ProcessorId, 2> placement{};
+  const auto churn = [&] {
+    for (int round = 0; round < 64; ++round) {
+      for (const sched::TaskSpec& spec : specs) {
+        placement = {spec.subtasks[0].primary, spec.subtasks[1].primary};
+        state.reserve_task(spec, std::span<const ProcessorId>(placement));
+      }
+      for (const sched::TaskSpec& spec : specs) {
+        (void)state.release_reservation(spec);
+      }
+    }
+  };
+  churn();
+
+  const std::uint64_t before = allocation_count();
+  // release_reservation returns the placement by value, which is the one
+  // unavoidable allocation per call; everything else must be silent.
+  constexpr std::uint64_t kReturnedPlacements = 64ull * 16ull;
+  churn();
+  EXPECT_LE(allocation_count() - before, kReturnedPlacements);
+  EXPECT_EQ(state.reservation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rtcm::core

@@ -1,0 +1,248 @@
+// Equivalence and invariant tests for the struct-of-arrays storage
+// primitives behind the admission book of record (util/slab.h,
+// util/arena.h, util/small_vec.h) and for the book itself run against its
+// std::map-backed shadow oracle.
+//
+// The slab/arena/small-vec trio replaces std::map nodes with dense columns;
+// these tests pin the behavioural contract of each piece against a
+// straightforward reference (std::unordered_map, std::vector) under
+// randomized churn, and the final test drives SchedulingState with
+// book_oracle=true so the ShadowBook cross-check (which aborts on
+// divergence) runs over a workload with heavy slot reuse and swap-with-last
+// removals.  CI gates on `ctest -R SoaEquivalence` in both the plain and
+// the ASan+UBSan jobs (scripts/ci_layer_gates.sh).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduling_state.h"
+#include "test_helpers.h"
+#include "util/arena.h"
+#include "util/ids.h"
+#include "util/slab.h"
+#include "util/small_vec.h"
+#include "util/time.h"
+
+namespace rtcm {
+namespace {
+
+TEST(SoaEquivalence, ArenaAlignmentAndDedicatedBlocks) {
+  util::MonotonicArena arena(1024);
+  // Mixed-alignment bumps all land correctly aligned (the arena's
+  // guarantee tops out at the fundamental alignment of its new[]'d
+  // blocks).
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                            alignof(std::max_align_t)}) {
+    void* p = arena.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+  }
+  // A request larger than the block size gets its own block instead of
+  // failing or truncating.
+  void* big = arena.allocate(4096, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(arena.reserved_bytes(), 4096u + 1024u);
+  const std::size_t blocks = arena.block_count();
+  // release() drops everything wholesale.
+  arena.release();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), 0u);
+  EXPECT_LT(arena.block_count(), blocks);
+}
+
+TEST(SoaEquivalence, ArenaDoesNotReuseReleasedOffsetsWithinBlock) {
+  util::MonotonicArena arena(256);
+  auto* a = arena.allocate_array<std::uint64_t>(4);
+  auto* b = arena.allocate_array<std::uint64_t>(4);
+  // Monotonic: the second allocation never aliases the first.
+  EXPECT_GE(b, a + 4);
+  a[0] = 1;
+  b[0] = 2;
+  EXPECT_EQ(a[0], 1u);
+}
+
+TEST(SoaEquivalence, SmallVecMatchesVectorThroughSpill) {
+  util::MonotonicArena arena;
+  util::SmallVec<std::uint32_t, 4> sv;
+  std::vector<std::uint32_t> ref;
+  // Grow well past the inline capacity and compare element-for-element at
+  // every step, including across the inline->spill boundary.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    sv.push_back(i * 3, arena);
+    ref.push_back(i * 3);
+    ASSERT_EQ(sv.size(), ref.size());
+    for (std::uint32_t j = 0; j < ref.size(); ++j) ASSERT_EQ(sv[j], ref[j]);
+  }
+  EXPECT_GT(arena.allocated_bytes(), 0u);  // it did spill
+
+  // clear() keeps the spilled capacity: refilling allocates nothing more.
+  const std::size_t spilled = arena.allocated_bytes();
+  sv.clear();
+  for (std::uint32_t i = 0; i < 64; ++i) sv.push_back(i, arena);
+  EXPECT_EQ(arena.allocated_bytes(), spilled);
+
+  // Moves transfer the spill buffer (rows relocate on swap-with-last).
+  util::SmallVec<std::uint32_t, 4> moved(std::move(sv));
+  ASSERT_EQ(moved.size(), 64u);
+  EXPECT_EQ(moved[63], 63u);
+  EXPECT_TRUE(sv.empty());
+}
+
+TEST(SoaEquivalence, SlotMapMatchesUnorderedMapUnderChurn) {
+  util::IdSlotMap map;
+  std::unordered_map<std::int32_t, std::uint32_t> ref;
+  Rng rng(11);
+  // Insert/erase/update/lookup churn over a key range chosen to force
+  // probe-chain collisions and plenty of backshift deletions.
+  for (int step = 0; step < 20000; ++step) {
+    const auto key = static_cast<std::int32_t>(rng.index(512));
+    switch (rng.index(3)) {
+      case 0:
+        if (!ref.contains(key)) {
+          const auto slot = static_cast<std::uint32_t>(step);
+          map.insert(key, slot);
+          ref.emplace(key, slot);
+        } else {
+          const auto slot = static_cast<std::uint32_t>(step);
+          map.update(key, slot);
+          ref[key] = slot;
+        }
+        break;
+      case 1:
+        ASSERT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      default:
+        break;
+    }
+    const std::uint32_t got = map.lookup(key);
+    const auto it = ref.find(key);
+    if (it == ref.end()) {
+      ASSERT_EQ(got, util::IdSlotMap::kNoSlot);
+    } else {
+      ASSERT_EQ(got, it->second);
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Full sweep: every surviving key resolves, every other key misses.
+  for (std::int32_t key = 0; key < 512; ++key) {
+    const auto it = ref.find(key);
+    ASSERT_EQ(map.lookup(key),
+              it == ref.end() ? util::IdSlotMap::kNoSlot : it->second);
+  }
+}
+
+TEST(SoaEquivalence, SlabHandlesGoStaleOnRelease) {
+  util::SlotAllocator slots;
+  const auto [a, fresh_a] = slots.acquire();
+  EXPECT_TRUE(fresh_a);
+  const std::uint64_t handle_a = slots.handle(a);
+  EXPECT_EQ(slots.slot_of(handle_a), a);
+
+  // Releasing invalidates the outstanding handle even after the slot is
+  // reacquired under a newer generation.
+  slots.release(a);
+  EXPECT_EQ(slots.slot_of(handle_a), util::SlotAllocator::kNoSlot);
+  const auto [b, fresh_b] = slots.acquire();
+  EXPECT_EQ(b, a);  // free list reuses the row
+  EXPECT_FALSE(fresh_b);
+  EXPECT_EQ(slots.slot_of(handle_a), util::SlotAllocator::kNoSlot);
+  EXPECT_EQ(slots.slot_of(slots.handle(b)), b);
+
+  // Inert handles never resolve.
+  EXPECT_EQ(slots.slot_of(0), util::SlotAllocator::kNoSlot);
+  EXPECT_EQ(slots.live(), 1u);
+  EXPECT_EQ(slots.capacity(), 1u);
+}
+
+TEST(SoaEquivalence, BookMatchesShadowOracleUnderChurn) {
+  // book_oracle=true arms the ShadowBook: every mutation below is mirrored
+  // into std::map-backed state with the pre-slab arithmetic and
+  // cross-checked (totals bitwise, rows field-for-field); divergence
+  // aborts.  The workload leans on slot reuse: expiries out of the middle
+  // force swap-with-last moves, resets punch holes in contribution lists,
+  // and reservations interleave with jobs on shared processors.
+  const sched::TaskSet tasks = rtcm::testing::make_imbalanced_workload(13);
+  core::SchedulingState state(nullptr, /*book_oracle=*/true);
+  Rng rng(13);
+
+  struct LiveJob {
+    JobId job;
+    const sched::TaskSpec* spec;
+  };
+  std::vector<LiveJob> live;
+  std::vector<const sched::TaskSpec*> reserved;
+  std::int32_t next_job = 0;
+
+  for (int step = 0; step < 1500; ++step) {
+    switch (rng.index(5)) {
+      case 0:
+      case 1: {  // admit
+        const sched::TaskSpec& spec = tasks.tasks()[rng.index(tasks.size())];
+        std::vector<ProcessorId> placement;
+        for (const sched::SubtaskSpec& st : spec.subtasks) {
+          placement.push_back(st.primary);
+        }
+        const JobId job(next_job++);
+        state.admit_job(spec, job, placement, Time(step * 1000 + 100000));
+        live.push_back({job, &spec});
+        break;
+      }
+      case 2: {  // expire (random position -> swap-with-last move)
+        if (live.empty()) break;
+        const std::size_t i = rng.index(live.size());
+        state.expire_job(live[i].job);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 3: {  // reset one stage
+        if (live.empty()) break;
+        const LiveJob& pick = live[rng.index(live.size())];
+        (void)state.reset_subjob(pick.job,
+                                 rng.index(pick.spec->subtasks.size()));
+        break;
+      }
+      default: {  // reserve / release
+        const sched::TaskSpec& spec = tasks.tasks()[rng.index(tasks.size())];
+        if (state.is_reserved(spec.id)) {
+          (void)state.release_reservation(spec);
+          std::erase(reserved, &spec);
+        } else {
+          std::vector<ProcessorId> placement;
+          for (const sched::SubtaskSpec& st : spec.subtasks) {
+            placement.push_back(st.primary);
+          }
+          state.reserve_task(spec, placement);
+          reserved.push_back(&spec);
+        }
+        break;
+      }
+    }
+  }
+
+  EXPECT_EQ(state.active_jobs(), live.size());
+  EXPECT_EQ(state.reservation_count(), reserved.size());
+
+  // Drain everything; the oracle keeps checking through teardown and the
+  // ledger must land exactly at zero.
+  for (const LiveJob& j : live) state.expire_job(j.job);
+  for (const sched::TaskSpec* spec : reserved) {
+    (void)state.release_reservation(*spec);
+  }
+  EXPECT_EQ(state.active_jobs(), 0u);
+  EXPECT_EQ(state.reservation_count(), 0u);
+  EXPECT_DOUBLE_EQ(state.ledger().total_all(), 0.0);
+}
+
+TEST(SoaEquivalence, BookOracleEnvFlagIsRead) {
+  // The env hook mirrors RTCM_CHECK_ADMISSION_ORACLE's contract: set means
+  // armed, unset means off (the ctor default routes through it).
+  unsetenv("RTCM_CHECK_BOOK_ORACLE");
+  EXPECT_FALSE(core::SchedulingState::book_oracle_from_env());
+  setenv("RTCM_CHECK_BOOK_ORACLE", "1", 1);
+  EXPECT_TRUE(core::SchedulingState::book_oracle_from_env());
+  unsetenv("RTCM_CHECK_BOOK_ORACLE");
+}
+
+}  // namespace
+}  // namespace rtcm
