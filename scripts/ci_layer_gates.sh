@@ -9,10 +9,37 @@
 # "Simulation kernel" line names the broken layer) and guard the label
 # wiring itself — a test that silently loses its label would otherwise
 # drop out of the layer gate without anyone noticing.
+#
+# `--threads-only` restricts the run to the genuinely multi-threaded layers
+# (thread pool, sweep engine, shard merge) — the selection the TSan lane
+# uses, where re-running the single-threaded simulator suites would only
+# burn the sanitizer's 5-15x slowdown without exercising any concurrency.
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+THREADS_ONLY=0
+for arg in "$@"; do
+  case "${arg}" in
+    --threads-only) THREADS_ONLY=1 ;;
+    --*) echo "unknown flag ${arg}" >&2; exit 2 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
 CTEST=(ctest --test-dir "${BUILD_DIR}" --output-on-failure)
+
+if [[ "${THREADS_ONLY}" == 1 ]]; then
+  echo "::group::Multi-threaded layers (sweep engine, thread pool, sharding)"
+  # ShardMergeFig5Binary runs four full fig5 shards plus the merge; at
+  # TSan's slowdown it would dominate the lane for no extra thread
+  # coverage beyond the sweep tests already selected — excluded here, and
+  # still gated at full speed in every other job.
+  "${CTEST[@]}" -R 'Sweep|Shard|ThreadPool' -E ShardMergeFig5Binary
+  echo "::endgroup::"
+  echo "::group::Simulation-kernel layer under TSan (both kernels)"
+  "${CTEST[@]}" -L sim
+  echo "::endgroup::"
+  exit 0
+fi
 
 echo "::group::Reconfiguration layer (unit label + property tests)"
 "${CTEST[@]}" -L reconfig
@@ -59,4 +86,8 @@ echo "::endgroup::"
 
 echo "::group::Scenario spec exemplars (scenarios/*.json smoke)"
 "${CTEST[@]}" -R SpecSmoke
+echo "::endgroup::"
+
+echo "::group::Static-analysis layer (rtcm-lint over src/ + fixture corpus)"
+"${CTEST[@]}" -R RtcmLint
 echo "::endgroup::"

@@ -53,7 +53,7 @@ class Component {
   /// (paper §5: the TE's attributes "may be modified at run-time"; the
   /// reconfiguration engine configures quiesced components before
   /// reactivating them).  Attributes are retained and re-readable.
-  Status configure(const AttributeMap& properties);
+  [[nodiscard]] Status configure(const AttributeMap& properties);
 
   /// Whether configure() is permitted while Active.
   [[nodiscard]] virtual bool supports_runtime_reconfiguration() const {
@@ -61,10 +61,10 @@ class Component {
   }
 
   /// Transition to Active; subclasses subscribe to events here.
-  Status activate();
+  [[nodiscard]] Status activate();
 
   /// Transition to Passivated; must currently be Active.
-  Status passivate();
+  [[nodiscard]] Status passivate();
 
   [[nodiscard]] const AttributeMap& attributes() const { return attributes_; }
 
@@ -76,7 +76,8 @@ class Component {
 
   /// Wire `iface` into the named receptacle; the registered connector
   /// any_casts it to the expected interface type.
-  Status connect_receptacle(const std::string& port, std::any iface);
+  [[nodiscard]] Status connect_receptacle(const std::string& port,
+                                          std::any iface);
 
   [[nodiscard]] std::vector<std::string> facet_names() const;
   [[nodiscard]] std::vector<std::string> receptacle_names() const;
@@ -85,11 +86,11 @@ class Component {
 
  protected:
   /// Subclass hooks.
-  virtual Status on_configure(const AttributeMap& properties) {
+  [[nodiscard]] virtual Status on_configure(const AttributeMap& properties) {
     (void)properties;
     return Status::ok();
   }
-  virtual Status on_activate() { return Status::ok(); }
+  [[nodiscard]] virtual Status on_activate() { return Status::ok(); }
   virtual void on_passivate() {}
 
   /// Port registration (call from the subclass constructor).

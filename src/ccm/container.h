@@ -54,8 +54,8 @@ class Container {
   [[nodiscard]] ProcessorId processor() const { return context_.processor; }
 
   /// Install a component under a unique instance name.
-  Status install(const std::string& instance_name,
-                 std::unique_ptr<Component> component);
+  [[nodiscard]] Status install(const std::string& instance_name,
+                               std::unique_ptr<Component> component);
 
   [[nodiscard]] Component* find(const std::string& instance_name) const;
 
@@ -66,9 +66,9 @@ class Container {
   }
 
   /// Activate every installed component (in installation order).
-  Status activate_all();
+  [[nodiscard]] Status activate_all();
   /// Passivate every active component (in reverse installation order).
-  Status passivate_all();
+  [[nodiscard]] Status passivate_all();
 
   [[nodiscard]] std::size_t size() const { return order_.size(); }
   [[nodiscard]] std::vector<std::string> instance_names() const {

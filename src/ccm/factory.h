@@ -24,7 +24,8 @@ class ComponentFactory {
   /// per-node components can bind to it.
   using Creator = std::function<std::unique_ptr<Component>(ProcessorId node)>;
 
-  Status register_type(const std::string& type_name, Creator creator);
+  [[nodiscard]] Status register_type(const std::string& type_name,
+                                     Creator creator);
 
   [[nodiscard]] bool knows(const std::string& type_name) const;
 

@@ -25,6 +25,7 @@ AdmissionControl::AdmissionControl(const sched::TaskSet& tasks,
     : Component(kTypeName),
       tasks_(tasks),
       metrics_(metrics),
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time read
       check_oracle_(std::getenv("RTCM_CHECK_ADMISSION_ORACLE") != nullptr),
       state_(arena) {
   declare_event_sink("TaskArrive", EventType::kTaskArrive);

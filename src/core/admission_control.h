@@ -124,8 +124,9 @@ class AdmissionControl final : public ccm::Component {
   [[nodiscard]] Time quiesce_horizon(const std::set<ProcessorId>& nodes) const;
 
  protected:
-  Status on_configure(const ccm::AttributeMap& attributes) override;
-  Status on_activate() override;
+  [[nodiscard]] Status on_configure(
+      const ccm::AttributeMap& attributes) override;
+  [[nodiscard]] Status on_activate() override;
 
  private:
   void handle_task_arrive(const events::TaskArrivePayload& payload);

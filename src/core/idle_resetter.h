@@ -50,8 +50,9 @@ class IdleResetter final : public ccm::Component, public CompletionSink {
   }
 
  protected:
-  Status on_configure(const ccm::AttributeMap& attributes) override;
-  Status on_activate() override;
+  [[nodiscard]] Status on_configure(
+      const ccm::AttributeMap& attributes) override;
+  [[nodiscard]] Status on_activate() override;
 
  private:
   void on_processor_idle();

@@ -48,7 +48,8 @@ class LoadBalancerComponent final : public ccm::Component,
   }
 
  protected:
-  Status on_configure(const ccm::AttributeMap& attributes) override;
+  [[nodiscard]] Status on_configure(
+      const ccm::AttributeMap& attributes) override;
 
  private:
   sched::LoadBalancer balancer_;

@@ -85,7 +85,7 @@ class SystemRuntime {
   SystemRuntime(SystemConfig config, sched::TaskSet tasks);
 
   /// Build processors, containers and components, wire all ports, activate.
-  Status assemble();
+  [[nodiscard]] Status assemble();
   [[nodiscard]] bool assembled() const { return assembled_; }
 
   // --- Staged assembly (for deployment-plan driven launching) -------------
@@ -97,18 +97,18 @@ class SystemRuntime {
   //   assemble_infrastructure() -> [dance launch] -> finalize_deployment()
 
   /// Build network, federation, processors and (empty) containers.
-  Status assemble_infrastructure();
+  [[nodiscard]] Status assemble_infrastructure();
   /// Discover installed components, activate containers (manager first) and
   /// mark the runtime assembled.
-  Status finalize_deployment();
+  [[nodiscard]] Status finalize_deployment();
 
   // --- Driving -------------------------------------------------------------
 
   /// Schedule a job arrival; ids are assigned in injection order.  Errors
   /// (runtime not assembled, unknown task) are reported instead of UB.
-  Status inject_arrival(TaskId task, Time at);
+  [[nodiscard]] Status inject_arrival(TaskId task, Time at);
   /// Inject a whole trace; stops at the first rejected arrival.
-  Status inject_arrivals(const std::vector<Arrival>& arrivals);
+  [[nodiscard]] Status inject_arrivals(const std::vector<Arrival>& arrivals);
   void run_until(Time horizon) { sim_.run_until(horizon); }
   void run_for(Duration d) { sim_.run_until(sim_.now() + d); }
 
@@ -154,8 +154,9 @@ class SystemRuntime {
   /// Apply new configProperties to one live (or quiesced) installed
   /// instance — the incremental form of the deployment set_configuration
   /// path.  Errors name the instance.
-  Status reconfigure_instance(ProcessorId node, const std::string& instance,
-                              const ccm::AttributeMap& properties);
+  [[nodiscard]] Status reconfigure_instance(
+      ProcessorId node, const std::string& instance,
+      const ccm::AttributeMap& properties);
 
   /// Record the strategy combination now in force, so config() keeps
   /// describing the live system after a mode change swapped strategies.
@@ -174,11 +175,11 @@ class SystemRuntime {
 
  private:
   void register_component_types();
-  Status install_manager_components();
-  Status install_application_components();
+  [[nodiscard]] Status install_manager_components();
+  [[nodiscard]] Status install_application_components();
   /// Populate ac_/lb_/te_/ir_ pointers by scanning the containers.
-  Status bind_components();
-  Status activate_containers();
+  [[nodiscard]] Status bind_components();
+  [[nodiscard]] Status activate_containers();
 
   SystemConfig config_;
   sched::TaskSet tasks_;

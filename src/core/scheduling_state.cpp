@@ -125,6 +125,7 @@ struct SchedulingState::ShadowBook {
 // --- SchedulingState ---------------------------------------------------------
 
 bool SchedulingState::book_oracle_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): startup-time read
   return std::getenv("RTCM_CHECK_BOOK_ORACLE") != nullptr;
 }
 

@@ -54,8 +54,9 @@ class SubtaskComponentBase : public ccm::Component {
  protected:
   SubtaskComponentBase(std::string type_name, const sched::TaskSet& tasks);
 
-  Status on_configure(const ccm::AttributeMap& attributes) override;
-  Status on_activate() override;
+  [[nodiscard]] Status on_configure(
+      const ccm::AttributeMap& attributes) override;
+  [[nodiscard]] Status on_activate() override;
 
   /// Stage-specific follow-up after the subjob's execution completes.
   virtual void on_subjob_finished(const events::TriggerPayload& payload) = 0;

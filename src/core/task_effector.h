@@ -53,8 +53,9 @@ class TaskEffector final : public ccm::Component {
                                  std::vector<ProcessorId> placement);
 
  protected:
-  Status on_configure(const ccm::AttributeMap& attributes) override;
-  Status on_activate() override;
+  [[nodiscard]] Status on_configure(
+      const ccm::AttributeMap& attributes) override;
+  [[nodiscard]] Status on_activate() override;
 
  private:
   struct HeldJob {

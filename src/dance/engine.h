@@ -39,8 +39,9 @@ class NodeApplication {
 
   /// create -> set_configuration -> install.  On success the installed
   /// component is registered in `installed`.
-  Status install(const InstanceDeployment& instance,
-                 std::map<std::string, ccm::Component*>& installed);
+  [[nodiscard]] Status install(
+      const InstanceDeployment& instance,
+      std::map<std::string, ccm::Component*>& installed);
 
  private:
   ccm::Container& container_;
@@ -65,9 +66,9 @@ class ExecutionManager {
   /// Reconfiguration hook: wire a single connection between two already
   /// installed components — the incremental form of launch()'s wiring pass,
   /// used when a plan diff adds or rewires connections at run time.
-  static Status wire_connection(const ConnectionDeployment& connection,
-                                ccm::Component& source,
-                                ccm::Component& target);
+  [[nodiscard]] static Status wire_connection(
+      const ConnectionDeployment& connection, ccm::Component& source,
+      ccm::Component& target);
 };
 
 /// PlanLauncher: parse descriptor text and launch in one step.

@@ -80,15 +80,17 @@ class ReconfigurationManager {
   // --- Scheduling (mode changes applied at a virtual time) -----------------
 
   /// Schedule one mode change at change.at (must be >= now).
-  Status schedule(const config::ModeChange& change);
+  [[nodiscard]] Status schedule(const config::ModeChange& change);
   /// Schedule a whole script; stops at the first unschedulable entry.
-  Status schedule_script(const std::vector<config::ModeChange>& script);
+  [[nodiscard]] Status schedule_script(
+      const std::vector<config::ModeChange>& script);
   /// Schedule switching to an explicit target plan (e.g. one step of the
   /// configuration engine's plan sequence).
-  Status schedule_plan(Time at, dance::DeploymentPlan target,
-                       std::string label = "");
+  [[nodiscard]] Status schedule_plan(Time at, dance::DeploymentPlan target,
+                                     std::string label = "");
   /// Same, from a serialized XML plan (the PlanLauncher's descriptor form).
-  Status schedule_xml(Time at, const std::string& xml, std::string label = "");
+  [[nodiscard]] Status schedule_xml(Time at, const std::string& xml,
+                                    std::string label = "");
 
   // --- Immediate application (at the current virtual time) -----------------
 

@@ -6,9 +6,8 @@
 
 namespace rtcm::sched {
 
-std::unordered_map<ProcessorId, double> simultaneous_utilization(
-    const TaskSet& set) {
-  std::unordered_map<ProcessorId, double> out;
+std::map<ProcessorId, double> simultaneous_utilization(const TaskSet& set) {
+  std::map<ProcessorId, double> out;
   for (const TaskSpec& t : set.tasks()) {
     for (std::size_t j = 0; j < t.subtasks.size(); ++j) {
       out[t.subtasks[j].primary] += t.subtask_utilization(j);

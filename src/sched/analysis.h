@@ -6,7 +6,7 @@
 // 0.5 / 0.7), and a whole-set AUB feasibility check.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sched/aub.h"
@@ -16,8 +16,11 @@ namespace rtcm::sched {
 
 /// Synthetic utilization each processor would carry if every task in `set`
 /// released one job at the same instant, with every subtask on its primary.
-[[nodiscard]] std::unordered_map<ProcessorId, double>
-simultaneous_utilization(const TaskSet& set);
+/// Ordered by processor id so iteration is deterministic: callers feed
+/// these totals into reports and assertions (rtcm-lint's
+/// unordered-iteration rule is why this is not an unordered_map).
+[[nodiscard]] std::map<ProcessorId, double> simultaneous_utilization(
+    const TaskSet& set);
 
 /// Largest per-processor value from simultaneous_utilization().
 [[nodiscard]] double peak_simultaneous_utilization(const TaskSet& set);

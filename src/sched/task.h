@@ -65,7 +65,7 @@ class TaskSet {
 
   /// Append a task.  Returns an error (and leaves the set unchanged) if the
   /// spec is malformed or the id duplicates an existing task.
-  Status add(TaskSpec spec);
+  [[nodiscard]] Status add(TaskSpec spec);
 
   [[nodiscard]] std::size_t size() const { return tasks_.size(); }
   [[nodiscard]] bool empty() const { return tasks_.empty(); }

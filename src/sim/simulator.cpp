@@ -19,6 +19,9 @@ constexpr std::size_t kCompactMinEntries = 256;
 }  // namespace
 
 KernelKind default_kernel_kind() {
+  // Read once per Simulator construction, before any thread is spawned
+  // (sweep cells construct their simulators inside their own job).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("RTCM_SIM_KERNEL");
   if (env != nullptr && std::string_view(env) == "heap") {
     return KernelKind::kHeap;

@@ -268,6 +268,8 @@ Result<Report> merge_reports(const std::vector<Report>& shards) {
 }
 
 std::string git_head_sha() {
+  // Env reads happen before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("RTCM_GIT_SHA");
       env != nullptr && env[0] != '\0') {
     return env;

@@ -1,11 +1,52 @@
 #include "sweep/sweep.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rtcm::sweep {
+
+namespace {
+
+/// Operator feedback for long sweeps (enable with RTCM_SWEEP_PROGRESS=1): a
+/// completed-cell counter shared by every worker.  Together with the result
+/// slots (disjoint-index writes, synchronized by the pool's join) this is
+/// the sweep engine's entire cross-thread mutable state, and it is
+/// annotated so clang's -Wthread-safety proves the locking discipline.
+/// Progress lines go to stderr only and are not deterministic — completion
+/// order is the steal order — report contents are unaffected.
+class SweepProgress {
+ public:
+  explicit SweepProgress(std::size_t total)
+      : total_(total),
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read before workers spawn
+        enabled_(std::getenv("RTCM_SWEEP_PROGRESS") != nullptr),
+        stride_(total <= 100 ? 1 : total / 100) {}
+
+  void note_cell_done() {
+    if (!enabled_) return;
+    std::size_t done = 0;
+    {
+      MutexLock lock(mutex_);
+      done = ++completed_;
+    }
+    if (done % stride_ == 0 || done == total_) {
+      std::fprintf(stderr, "[rtcm sweep] %zu/%zu cells\n", done, total_);
+    }
+  }
+
+ private:
+  const std::size_t total_;
+  const bool enabled_;
+  const std::size_t stride_;
+  Mutex mutex_;
+  std::size_t completed_ RTCM_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
 
 std::string Shard::label() const {
   return std::to_string(index) + "/" + std::to_string(count);
@@ -129,16 +170,29 @@ std::vector<CellResult> run_sweep(const Grid& grid, const SweepParams& params,
     cell_shapes[i] = found;
   }
 
+  // One context struct keeps the per-job capture at two words (the
+  // InlineFunction inline capacity covers it with room to spare).
+  struct JobContext {
+    const std::vector<Cell>& cells;
+    const std::vector<const workload::WorkloadShape*>& shapes;
+    std::vector<CellResult>& results;
+    const SweepParams& params;
+    SweepProgress& progress;
+  };
+  SweepProgress progress(cells.size());
+  JobContext ctx{cells, cell_shapes, results, params, progress};
+
   std::vector<ThreadPool::Job> jobs;
   jobs.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    jobs.push_back([&cells, &cell_shapes, &results, &params, i] {
-      if (cell_shapes[i] == nullptr) {
-        results[i].cell = cells[i];
-        results[i].error = "unknown workload shape: " + cells[i].shape;
-        return;
+    jobs.push_back([&ctx, i] {
+      if (ctx.shapes[i] == nullptr) {
+        ctx.results[i].cell = ctx.cells[i];
+        ctx.results[i].error = "unknown workload shape: " + ctx.cells[i].shape;
+      } else {
+        ctx.results[i] = run_cell(ctx.cells[i], *ctx.shapes[i], ctx.params);
       }
-      results[i] = run_cell(cells[i], *cell_shapes[i], params);
+      ctx.progress.note_cell_done();
     });
   }
 

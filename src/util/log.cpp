@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace rtcm::log_internal {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serializes emit(): stderr writes from concurrent sweep workers must not
+// interleave mid-line.  Nothing is guarded by it in the capability sense
+// (the stream is global), but the annotated type keeps the locking visible
+// to -Wthread-safety should guarded state grow here.
+rtcm::Mutex g_mutex;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -34,7 +39,7 @@ void set_threshold(LogLevel level) {
 }
 
 void emit(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[rtcm %s] %s\n", level_tag(level), msg.c_str());
 }
 

@@ -10,10 +10,13 @@
 namespace rtcm {
 
 /// Success-or-error-message outcome for operations with no payload.
-class Status {
+/// Class-level [[nodiscard]]: every function returning Status warns when
+/// the caller drops the result, whether or not the declaration repeats the
+/// attribute.  Intentional discards spell out `(void)`.
+class [[nodiscard]] Status {
  public:
-  static Status ok() { return Status(); }
-  static Status error(std::string message) {
+  [[nodiscard]] static Status ok() { return Status(); }
+  [[nodiscard]] static Status error(std::string message) {
     return Status(std::move(message));
   }
 
@@ -29,9 +32,10 @@ class Status {
   std::optional<std::string> message_;
 };
 
-/// Value-or-error-message outcome.
+/// Value-or-error-message outcome.  [[nodiscard]] for the same reason as
+/// Status: an ignored Result is an ignored error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   static Result error(std::string message) {

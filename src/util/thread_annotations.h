@@ -1,0 +1,88 @@
+// Clang thread-safety annotations (no-ops elsewhere) plus annotated mutex
+// wrappers, in the style userver/abseil ship for production services.
+//
+// `-Wthread-safety` turns locking discipline into a compile-time contract:
+// a member declared RTCM_GUARDED_BY(mutex_) cannot be touched without the
+// mutex held, a function declared RTCM_REQUIRES(mutex_) cannot be called
+// without it, and the analysis is interprocedural within a TU.  The rtcm
+// library compiles with `-Werror=thread-safety` under clang (see the
+// static-analysis CI lane); GCC expands every macro to nothing and sees
+// plain std::mutex semantics.
+//
+// std::mutex and std::lock_guard carry no capability attributes in
+// libstdc++, so clang's analysis cannot see through them; rtcm::Mutex and
+// rtcm::MutexLock below are the annotated drop-in wrappers.  Annotated code
+// must use them — that is itself part of the contract.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+// NOLINTNEXTLINE(bugprone-macro-parentheses): expands inside __attribute__
+#define RTCM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RTCM_THREAD_ANNOTATION
+#define RTCM_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define RTCM_CAPABILITY(name) RTCM_THREAD_ANNOTATION(capability(name))
+/// Marks an RAII type that acquires a capability for its lifetime.
+#define RTCM_SCOPED_CAPABILITY RTCM_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only with `x` held.
+#define RTCM_GUARDED_BY(x) RTCM_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose pointee is guarded by `x`.
+#define RTCM_PT_GUARDED_BY(x) RTCM_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function callable only with `...` held (and still held on return).
+#define RTCM_REQUIRES(...) \
+  RTCM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function that acquires `...` and does not release it before returning.
+#define RTCM_ACQUIRE(...) \
+  RTCM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function that releases `...` (held on entry, released on return).
+#define RTCM_RELEASE(...) \
+  RTCM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function that must NOT be called with `...` held (deadlock guard).
+#define RTCM_EXCLUDES(...) RTCM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Return value is a reference to data guarded by `x`.
+#define RTCM_RETURN_CAPABILITY(x) RTCM_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch for code the analysis cannot model; justify at the site.
+#define RTCM_NO_THREAD_SAFETY_ANALYSIS \
+  RTCM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace rtcm {
+
+/// std::mutex with capability attributes so clang's thread-safety analysis
+/// can track it.  Same size/semantics as std::mutex; lock()/unlock() exist
+/// for the annotated RAII wrapper below — prefer MutexLock at call sites.
+class RTCM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RTCM_ACQUIRE() { impl_.lock(); }
+  void unlock() RTCM_RELEASE() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+/// Annotated std::lock_guard equivalent: acquires for the enclosing scope.
+class RTCM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RTCM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RTCM_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace rtcm

@@ -261,8 +261,8 @@ TEST(EngineTest, LaunchBuildsWorkingRuntime) {
   core::SystemRuntime& rt = *runtime.value();
   EXPECT_TRUE(rt.assembled());
 
-  rt.inject_arrival(TaskId(0), Time(0));
-  rt.inject_arrival(TaskId(1), Time(0));
+  RTCM_EXPECT_OK(rt.inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt.inject_arrival(TaskId(1), Time(0)));
   rt.run_until(Time(Duration::seconds(1).usec()));
   EXPECT_EQ(rt.metrics().total().releases, 2u);
   EXPECT_EQ(rt.metrics().total().completions, 2u);

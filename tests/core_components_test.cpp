@@ -112,7 +112,7 @@ TEST(RuntimeAssemblyTest, EdmsPrioritiesExposed) {
 
 TEST(PipelineTest, SingleJobFlowsThroughChain) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::milliseconds(300).usec()));
 
   const auto& total = rt->metrics().total();
@@ -129,7 +129,7 @@ TEST(PipelineTest, SingleJobFlowsThroughChain) {
 TEST(PipelineTest, ResponseIncludesAdmissionRoundTripLatency) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage(),
                          Duration::microseconds(322));
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::milliseconds(300).usec()));
   // arrival -> AC (322us) -> accept (322us) -> stage0 10ms -> trigger to P1
   // (322us) -> stage1 10ms: ~20.97 ms.
@@ -140,7 +140,7 @@ TEST(PipelineTest, TaskEffectorHoldsUntilAccept) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage(),
                          Duration::milliseconds(10));
   TaskEffector* te = rt->task_effector(ProcessorId(0));
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   // Run to just after the arrival but before the Accept round trip ends.
   rt->run_until(Time(Duration::milliseconds(5).usec()));
   EXPECT_EQ(te->held_count(), 1u);
@@ -154,7 +154,8 @@ TEST(PipelineTest, TaskEffectorHoldsUntilAccept) {
 TEST(AcPerTaskTest, ReservesOnceAndBypassesLaterTests) {
   auto rt = make_runtime("T_N_N", one_periodic_two_stage());
   for (int k = 0; k < 5; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(100 * k).usec())));
   }
   rt->run_until(Time(Duration::seconds(1).usec()));
 
@@ -177,7 +178,8 @@ TEST(AcPerTaskTest, RejectedTaskNeverRuns) {
                   .is_ok());
   auto rt = make_runtime("T_N_N", std::move(set));
   for (int k = 0; k < 3; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(100 * k).usec())));
   }
   rt->run_until(Time(Duration::seconds(1).usec()));
   EXPECT_EQ(rt->metrics().total().releases, 0u);
@@ -194,7 +196,8 @@ TEST(AcPerTaskTest, AperiodicJobsStillTestedPerArrival) {
                   .is_ok());
   auto rt = make_runtime("T_N_N", std::move(set));
   for (int k = 0; k < 4; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(200 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(200 * k).usec())));
   }
   rt->run_until(Time(Duration::seconds(2).usec()));
   EXPECT_EQ(rt->admission_control()->counters().admission_tests, 4u);
@@ -207,7 +210,8 @@ TEST(AcPerTaskTest, AperiodicJobsStillTestedPerArrival) {
 TEST(AcPerJobTest, EveryJobTested) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
   for (int k = 0; k < 5; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(100 * k).usec())));
   }
   rt->run_until(Time(Duration::seconds(1).usec()));
   EXPECT_EQ(rt->admission_control()->counters().admission_tests, 5u);
@@ -216,7 +220,7 @@ TEST(AcPerJobTest, EveryJobTested) {
 
 TEST(AcPerJobTest, ContributionExpiresAtDeadline) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::milliseconds(50).usec()));
   // Mid-window: contribution live even though the job completed (~20 ms).
   EXPECT_EQ(rt->metrics().total().completions, 1u);
@@ -244,11 +248,11 @@ TEST(AcPerJobTest, OverloadSkipsJobsInsteadOfKillingTask) {
   for (int k = 0; k < 10; ++k) {
     const Time t(Duration::milliseconds(100 * k).usec());
     if (k % 2 == 0) {
-      rt->inject_arrival(TaskId(0), t);
-      rt->inject_arrival(TaskId(1), t);
+      RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), t));
+      RTCM_EXPECT_OK(rt->inject_arrival(TaskId(1), t));
     } else {
-      rt->inject_arrival(TaskId(1), t);
-      rt->inject_arrival(TaskId(0), t);
+      RTCM_EXPECT_OK(rt->inject_arrival(TaskId(1), t));
+      RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), t));
     }
   }
   rt->run_until(Time(Duration::seconds(2).usec()));
@@ -266,7 +270,7 @@ TEST(AcPerJobTest, OverloadSkipsJobsInsteadOfKillingTask) {
 
 TEST(IdleResetTest, PerJobResetsPeriodicContributions) {
   auto rt = make_runtime("J_J_N", one_periodic_two_stage());
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   // Job completes at ~20 ms; processors go idle; IR reports; contributions
   // removed well before the 100 ms deadline.
   rt->run_until(Time(Duration::milliseconds(50).usec()));
@@ -287,8 +291,8 @@ TEST(IdleResetTest, PerTaskOnlyResetsAperiodic) {
                                      {{0, 10000}}))
                   .is_ok());
   auto rt = make_runtime("J_T_N", std::move(set));
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(1), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(1), Time(0)));
   rt->run_until(Time(Duration::milliseconds(60).usec()));
   // Aperiodic contribution reset; periodic contribution still held until
   // its deadline.
@@ -300,7 +304,7 @@ TEST(IdleResetTest, PerTaskOnlyResetsAperiodic) {
 
 TEST(IdleResetTest, NoneNeverReports) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::milliseconds(90).usec()));
   EXPECT_EQ(rt->metrics().idle_resets(), 0u);
   EXPECT_EQ(rt->idle_resetter(ProcessorId(0))->reports_pushed(), 0u);
@@ -323,8 +327,9 @@ TEST(IdleResetTest, ResetEnablesMoreAdmissions) {
   // Without IR: the second task arriving mid-window is rejected.
   {
     auto rt = make_runtime("J_N_N", set);
-    rt->inject_arrival(TaskId(0), Time(0));
-    rt->inject_arrival(TaskId(1), Time(Duration::milliseconds(500).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(1), Time(Duration::milliseconds(500).usec())));
     rt->run_until(Time(Duration::seconds(1).usec()));
     EXPECT_EQ(rt->metrics().per_task().at(TaskId(1)).rejections, 1u);
   }
@@ -332,8 +337,9 @@ TEST(IdleResetTest, ResetEnablesMoreAdmissions) {
   // task 1 admits at 500 ms.
   {
     auto rt = make_runtime("J_J_N", set);
-    rt->inject_arrival(TaskId(0), Time(0));
-    rt->inject_arrival(TaskId(1), Time(Duration::milliseconds(500).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(1), Time(Duration::milliseconds(500).usec())));
     rt->run_until(Time(Duration::seconds(1).usec()));
     EXPECT_EQ(rt->metrics().per_task().at(TaskId(1)).releases, 1u);
   }
@@ -352,8 +358,9 @@ TEST(LoadBalancingTest, ReallocatesToIdleReplica) {
                                     {{0, 30000, {1}}}))
                   .is_ok());
   auto rt = make_runtime("J_N_T", std::move(set));
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(1), Time(Duration::milliseconds(1).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(1), Time(Duration::milliseconds(1).usec())));
   rt->run_until(Time(Duration::milliseconds(90).usec()));
   EXPECT_EQ(rt->metrics().total().releases, 2u);
   // Task 1 ran on its replica processor P1 (re-allocation).
@@ -370,7 +377,8 @@ TEST(LoadBalancingTest, PerTaskPlanIsFrozen) {
                   .is_ok());
   auto rt = make_runtime("J_N_T", std::move(set));
   for (int k = 0; k < 4; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(100 * k).usec())));
   }
   rt->run_until(Time(Duration::milliseconds(450).usec()));
   // The plan was proposed exactly once (first arrival) and reused.
@@ -385,7 +393,8 @@ TEST(LoadBalancingTest, PerJobProposesEveryJob) {
                   .is_ok());
   auto rt = make_runtime("J_N_J", std::move(set));
   for (int k = 0; k < 4; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(100 * k).usec())));
   }
   rt->run_until(Time(Duration::milliseconds(450).usec()));
   EXPECT_EQ(rt->load_balancer()->location_calls(), 4u);
@@ -403,9 +412,11 @@ TEST(LoadBalancingTest, ReservationMoveUnderAcTaskLbJob) {
                                     {{0, 30000}}))
                   .is_ok());
   auto rt = make_runtime("T_N_J", std::move(set));
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(1), Time(Duration::milliseconds(10).usec()));
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(1), Time(Duration::milliseconds(10).usec())));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(100).usec())));
   rt->run_until(Time(Duration::milliseconds(190).usec()));
   EXPECT_GE(rt->admission_control()->counters().reservation_moves, 1u);
   // The reservation now sits on P1.
@@ -427,8 +438,9 @@ TEST(EdmsExecutionTest, ShorterDeadlineTaskPreempts) {
                                     {{0, 5000}}))
                   .is_ok());
   auto rt = make_runtime("J_N_N", std::move(set));
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(1), Time(Duration::milliseconds(10).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(1), Time(Duration::milliseconds(10).usec())));
   rt->run_until(Time(Duration::milliseconds(200).usec()));
   EXPECT_EQ(rt->metrics().total().deadline_misses, 0u);
   EXPECT_EQ(rt->processor(ProcessorId(0)).stats().preemptions, 1u);
@@ -450,8 +462,8 @@ TEST(MetricsTest, AcceptedUtilizationRatioWeighsByUtilization) {
                                     {{1, 10000}}))
                   .is_ok());
   auto rt = make_runtime("J_N_N", std::move(set));
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(1), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(1), Time(0)));
   rt->run_until(Time(Duration::milliseconds(90).usec()));
   EXPECT_DOUBLE_EQ(rt->metrics().accepted_utilization_ratio(), 1.0);
   EXPECT_NEAR(rt->metrics().total().released_utilization, 0.5, 1e-9);
@@ -469,8 +481,9 @@ TEST(RuntimeReconfigurationTest, TaskEffectorModeChangesAtRuntime) {
   to_pj.set_string(TaskEffector::kModeAttr, "PJ");
   ASSERT_TRUE(te->configure(to_pj).is_ok());
 
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(100).usec())));
   rt->run_until(Time(Duration::milliseconds(150).usec()));
   EXPECT_EQ(te->immediate_releases(), 0u);  // PJ: both did the round trip
 
@@ -482,8 +495,10 @@ TEST(RuntimeReconfigurationTest, TaskEffectorModeChangesAtRuntime) {
   // The first post-switch arrival still does the round trip (the TE only
   // learns the cached placement from that Accept); the next one is
   // released immediately.
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(200).usec()));
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(300).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(200).usec())));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(300).usec())));
   rt->run_until(Time(Duration::milliseconds(350).usec()));
   EXPECT_EQ(te->immediate_releases(), 1u);
   EXPECT_EQ(rt->metrics().total().releases, 4u);
@@ -507,7 +522,7 @@ TEST(RuntimeReconfigurationTest, AcSwapsStrategiesButRefusesAnalysisSwitch) {
 
 TEST(MetricsTest, RenderContainsHeadlineNumbers) {
   auto rt = make_runtime("J_N_N", one_periodic_two_stage());
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::milliseconds(90).usec()));
   const std::string text = rt->metrics().render();
   EXPECT_NE(text.find("accepted utilization ratio"), std::string::npos);
@@ -533,7 +548,8 @@ TEST(AcCountersTest, CountersPartitionArrivalsUnderBursts) {
   auto rt = make_runtime("T_T_J", std::move(set));
   // Periodic background...
   for (int k = 0; k < 10; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(200 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(200 * k).usec())));
   }
   // ...plus aperiodic bursts.
   rtcm::testing::BurstShape burst;
@@ -541,7 +557,8 @@ TEST(AcCountersTest, CountersPartitionArrivalsUnderBursts) {
   burst.jobs_per_burst = 20;
   burst.intra_gap = Duration::milliseconds(1);
   burst.inter_gap = Duration::seconds(1);
-  rt->inject_arrivals(rtcm::testing::make_bursty_arrivals(TaskId(1), burst));
+  RTCM_EXPECT_OK(rt->inject_arrivals(
+      rtcm::testing::make_bursty_arrivals(TaskId(1), burst)));
   rt->run_until(Time(Duration::seconds(4).usec()));
 
   const auto& counters = rt->admission_control()->counters();

@@ -36,8 +36,8 @@ TEST_P(ValidComboTest, RunsRandomWorkloadCleanly) {
 
   Rng arrival_rng = rng.fork(1);
   const Time horizon(Duration::seconds(30).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(15));
 
   const auto& total = runtime.metrics().total();
@@ -101,8 +101,8 @@ TEST(RuntimeDeterminismTest, SameSeedSameOutcome) {
     EXPECT_TRUE(runtime.assemble().is_ok());
     Rng arrival_rng = rng.fork(1);
     const Time horizon(Duration::seconds(20).usec());
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(15));
     return std::tuple{runtime.metrics().accepted_utilization_ratio(),
                       runtime.metrics().total().releases,
@@ -125,8 +125,8 @@ TEST(RuntimeLatencyTest, PaperLatencyDoesNotCauseMisses) {
   ASSERT_TRUE(runtime.assemble().is_ok());
   Rng arrival_rng = rng.fork(1);
   const Time horizon(Duration::seconds(30).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(15));
   EXPECT_EQ(runtime.metrics().total().deadline_misses, 0u);
 }
@@ -159,8 +159,8 @@ TEST(RuntimeTopologyTest, GeneralizedImbalancedTopologyAssemblesAndRuns) {
 
   const Time horizon(Duration::seconds(10).usec());
   Rng arrival_rng = Rng(9).fork(1);
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(12));
   const auto& total = runtime.metrics().total();
   EXPECT_GT(total.releases, 0u);

@@ -1,0 +1,15 @@
+// Fixture: the inline suppression round trip.  A justified
+// `// rtcm-lint: allow(<rule>) <reason>` on the offending line (or the
+// line above) suppresses exactly that rule on exactly that line.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+double peak(const std::unordered_map<std::string, double>& totals) {
+  double best = 0.0;
+  // rtcm-lint: allow(unordered-iteration) max() is commutative and
+  for (const auto& [name, value] : totals) {
+    best = std::max(best, value);
+  }
+  return best;
+}

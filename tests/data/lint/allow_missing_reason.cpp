@@ -1,0 +1,15 @@
+// Fixture: an allow() without a written justification does not suppress —
+// the original finding survives and the malformed allow is reported too.
+// lint-expect: unordered-iteration
+// lint-expect: lint-usage
+#include <string>
+#include <unordered_map>
+
+double total(const std::unordered_map<std::string, double>& totals) {
+  double sum = 0.0;
+  // rtcm-lint: allow(unordered-iteration)
+  for (const auto& [name, value] : totals) {
+    sum += value;
+  }
+  return sum;
+}

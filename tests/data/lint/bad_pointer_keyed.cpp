@@ -1,0 +1,19 @@
+// Fixture: std::map/std::set keyed on pointers iterate in address order,
+// which is allocation-order (and ASLR) dependent — nondeterministic across
+// runs even though the container is "ordered".
+// lint-expect: pointer-keyed
+#include <map>
+#include <set>
+
+struct Task {
+  int id;
+};
+
+int sum_ids(const std::map<Task*, int>& weights,
+            const std::set<const Task*>& live) {
+  int total = 0;
+  for (const auto& [task, w] : weights) {
+    total += live.count(task) ? w * task->id : 0;
+  }
+  return total;
+}

@@ -1,0 +1,18 @@
+// Fixture: iterating the return value of a function declared to return an
+// unordered container is the same hazard as iterating a local, and the
+// iterator-based spelling (.begin()) must be caught too.
+// lint-expect: unordered-iteration
+#include <unordered_set>
+#include <vector>
+
+std::unordered_set<int> touched_processors();
+
+std::vector<int> render_order() {
+  std::vector<int> out;
+  for (int proc : touched_processors()) {
+    out.push_back(proc);
+  }
+  std::unordered_set<int> seen = touched_processors();
+  out.assign(seen.begin(), seen.end());
+  return out;
+}

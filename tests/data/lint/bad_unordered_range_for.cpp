@@ -1,0 +1,15 @@
+// Fixture: range-for over a local unordered_map must be flagged — hash
+// iteration order is libstdc++-internal, so anything it feeds (traces,
+// reports, JSON) drifts across compilers.
+// lint-expect: unordered-iteration
+#include <string>
+#include <unordered_map>
+
+double sum_scores(const std::unordered_map<std::string, double>& in) {
+  std::unordered_map<std::string, double> scores = in;
+  double total = 0.0;
+  for (const auto& [name, score] : scores) {
+    total += score;  // FP addition is order-sensitive: nondeterministic.
+  }
+  return total;
+}

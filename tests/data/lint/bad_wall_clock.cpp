@@ -1,0 +1,14 @@
+// Fixture: ambient randomness and wall-clock reads break the same-seed =>
+// byte-identical contract.  All randomness must flow from the seeded
+// rtcm::Rng; simulated time comes from the Simulator.
+// lint-expect: wall-clock
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+unsigned jitter_us() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return static_cast<unsigned>(std::rand() % 100);
+}

@@ -1,0 +1,14 @@
+// Fixture: suppressed via the adjacent allowlist.txt (file-level glob
+// entry) instead of an inline comment — the mechanism for generated code
+// or whole-file exemptions.
+#include <string>
+#include <unordered_map>
+
+int count_entries(const std::unordered_map<std::string, int>& table) {
+  int n = 0;
+  for (const auto& entry : table) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}

@@ -1,0 +1,16 @@
+// Fixture: keying ordered containers on value ids keeps iteration order a
+// pure function of the data, not the allocator.
+#include <map>
+#include <set>
+
+struct Task {
+  int id;
+};
+
+int sum_ids(const std::map<int, int>& weights, const std::set<int>& live) {
+  int total = 0;
+  for (const auto& [id, w] : weights) {
+    total += live.count(id) ? w * id : 0;
+  }
+  return total;
+}

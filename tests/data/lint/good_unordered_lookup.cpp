@@ -1,0 +1,22 @@
+// Fixture: unordered containers are fine as lookup structures — find/at/
+// count/contains/operator[] never observe hash order.  Iteration belongs
+// on ordered containers (std::map here renders deterministically).
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double report_total(const std::map<std::string, double>& by_name,
+                    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& [name, value] : by_name) {
+    const auto it = weights.find(name);
+    const double w = it != weights.end() ? it->second : 1.0;
+    total += w * value;
+  }
+  return total;
+}
+
+bool knows(const std::unordered_map<std::string, double>& weights,
+           const std::string& key) {
+  return weights.count(key) > 0 && weights.at(key) >= 0.0;
+}

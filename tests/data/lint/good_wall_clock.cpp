@@ -1,0 +1,15 @@
+// Fixture: steady_clock is allowed — wall_ms measurement is explicitly
+// non-deterministic and excluded from deterministic report forms; seeded
+// generators are the sanctioned randomness source.
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+std::uint64_t draw(std::mt19937_64& seeded_engine) {
+  return seeded_engine();
+}

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned sim event-path shape — InlineFunction delegates
+// in pre-sized slab storage, placement-new into slots the slab owns.
+#include <cstddef>
+#include <new>
+#include <vector>
+
+template <typename Sig, std::size_t Cap>
+class InlineFunction;
+
+struct Event {
+  int id;
+};
+
+struct EventSlot {
+  alignas(16) unsigned char storage[88];
+};
+
+void emplace_slot(std::vector<EventSlot>& slab, std::size_t slot) {
+  new (slab[slot].storage) Event{42};
+}

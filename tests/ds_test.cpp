@@ -242,7 +242,7 @@ TEST(DsRuntimeTest, AperiodicJobServedWithinDelayBound) {
       tasks.add(make_aperiodic(0, Duration::seconds(1), {{0, 10000}}))
           .is_ok());
   auto rt = make_ds_runtime(std::move(tasks));
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::seconds(2).usec()));
   const auto& total = rt->metrics().total();
   EXPECT_EQ(total.releases, 1u);
@@ -267,9 +267,11 @@ TEST(DsRuntimeTest, PeriodicTasksUnaffectedByServerWhenIdle) {
   auto rt = make_ds_runtime(std::move(tasks), "J_T_N",
                             Duration::milliseconds(10));
   for (int k = 0; k < 4; ++k) {
-    rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(400 * k).usec()));
+    RTCM_EXPECT_OK(rt->inject_arrival(
+        TaskId(0), Time(Duration::milliseconds(400 * k).usec())));
   }
-  rt->inject_arrival(TaskId(1), Time(Duration::milliseconds(100).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(1), Time(Duration::milliseconds(100).usec())));
   rt->run_until(Time(Duration::seconds(3).usec()));
   EXPECT_EQ(rt->metrics().total().deadline_misses, 0u);
   EXPECT_EQ(rt->metrics().per_task().at(TaskId(0)).completions, 4u);
@@ -284,7 +286,7 @@ TEST(DsRuntimeTest, OverloadedServerRejectsAperiodicJobs) {
                                        {{0, 40000}}))
                   .is_ok());
   auto rt = make_ds_runtime(std::move(tasks));
-  rt->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
   rt->run_until(Time(Duration::seconds(1).usec()));
   EXPECT_EQ(rt->metrics().total().rejections, 1u);
   EXPECT_EQ(rt->metrics().total().releases, 0u);
@@ -301,9 +303,11 @@ TEST(DsRuntimeTest, BacklogReleasedAtPredictedCompletion) {
                                        {{0, 20000}}))
                   .is_ok());
   auto rt = make_ds_runtime(std::move(tasks), "J_N_N");  // no idle resetting
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(10).usec()));
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(180).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(10).usec())));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(180).usec())));
   rt->run_until(Time(Duration::seconds(2).usec()));
   EXPECT_EQ(rt->metrics().total().releases, 2u);
   EXPECT_EQ(rt->metrics().total().rejections, 1u);
@@ -320,8 +324,9 @@ TEST(DsRuntimeTest, IdleResetReleasesDsBacklogEarly) {
   // before the 155 ms predicted release — so an arrival at 100 ms IS
   // admitted (it would be rejected without idle resetting).
   auto rt = make_ds_runtime(std::move(tasks), "J_T_N");
-  rt->inject_arrival(TaskId(0), Time(0));
-  rt->inject_arrival(TaskId(0), Time(Duration::milliseconds(100).usec()));
+  RTCM_EXPECT_OK(rt->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(rt->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(100).usec())));
   rt->run_until(Time(Duration::seconds(1).usec()));
   EXPECT_EQ(rt->metrics().total().releases, 2u);
   EXPECT_EQ(rt->metrics().total().rejections, 0u);
@@ -344,8 +349,8 @@ TEST_P(DsDeadlineTest, AdmittedJobsMeetDeadlines) {
   ASSERT_TRUE(runtime.assemble().is_ok());
   Rng arrival_rng = rng.fork(1);
   const Time horizon(Duration::seconds(20).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(15));
   EXPECT_EQ(runtime.metrics().total().deadline_misses, 0u);
   EXPECT_EQ(runtime.metrics().total().releases,
@@ -373,8 +378,8 @@ TEST(DsRuntimeTest, BurstyArrivalsConservedAndServedInOrder) {
   burst.jobs_per_burst = 8;
   burst.intra_gap = Duration::milliseconds(3);
   burst.inter_gap = Duration::seconds(1);
-  rt->inject_arrivals(
-      rtcm::testing::make_bursty_arrivals({TaskId(0), TaskId(1)}, burst));
+  RTCM_EXPECT_OK(rt->inject_arrivals(
+      rtcm::testing::make_bursty_arrivals({TaskId(0), TaskId(1)}, burst)));
   rt->run_until(Time(Duration::seconds(8).usec()));
 
   const auto& total = rt->metrics().total();

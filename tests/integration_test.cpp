@@ -32,8 +32,8 @@ struct RunResult {
 
 RunResult drive(core::SystemRuntime& rt, std::uint64_t seed, Time horizon) {
   Rng arrival_rng = Rng(seed).fork(1);
-  rt.inject_arrivals(
-      workload::generate_arrivals(rt.tasks(), horizon, arrival_rng));
+  RTCM_EXPECT_OK(rt.inject_arrivals(
+      workload::generate_arrivals(rt.tasks(), horizon, arrival_rng)));
   rt.run_until(horizon + Duration::seconds(15));
   RunResult result;
   result.ratio = rt.metrics().accepted_utilization_ratio();
@@ -285,7 +285,7 @@ TEST(MixedLoadTest, BurstOverloadOnTopOfPoissonBackgroundStaysSafe) {
                      return a.time < b.time;
                    });
 
-  rt.inject_arrivals(trace);
+  RTCM_EXPECT_OK(rt.inject_arrivals(trace));
   rt.run_until(horizon + Duration::seconds(15));
   const auto& total = rt.metrics().total();
   EXPECT_EQ(total.arrivals, background + 75u);

@@ -267,7 +267,7 @@ TEST(ReconfigManagerTest, StrategySwapAppliesLiveToEveryLayer) {
   EXPECT_EQ(runtime->config().strategies.label(), "J_J_J");
 
   // The swapped system still serves jobs cleanly.
-  runtime->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(0), Time(0)));
   runtime->run_until(Time(Duration::milliseconds(90).usec()));
   EXPECT_EQ(runtime->metrics().total().completions, 1u);
   EXPECT_EQ(runtime->metrics().total().deadline_misses, 0u);
@@ -293,7 +293,7 @@ TEST(ReconfigManagerTest, DrainMigratesReservationAndQuiescesLater) {
   reconfig::ReconfigurationManager manager(*runtime);
 
   // First arrival reserves T0 on its primary P0 and starts a 10 ms subjob.
-  runtime->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(0), Time(0)));
   runtime->run_until(Time(Duration::milliseconds(5).usec()));
   auto reservation =
       runtime->admission_control()->state().reservation(TaskId(0));
@@ -330,7 +330,8 @@ TEST(ReconfigManagerTest, DrainMigratesReservationAndQuiescesLater) {
   EXPECT_EQ(old_instance->state(), ccm::LifecycleState::kActive);
 
   // A later job of the admitted task releases immediately on the new host.
-  runtime->inject_arrival(TaskId(0), Time(Duration::milliseconds(100).usec()));
+  RTCM_EXPECT_OK(runtime->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(100).usec())));
   runtime->run_until(Time(Duration::milliseconds(200).usec()));
   EXPECT_EQ(old_instance->state(), ccm::LifecycleState::kPassivated);
   EXPECT_EQ(old_instance->subjobs_executed(), 1u);  // only the pre-drain job
@@ -365,8 +366,8 @@ sched::TaskSet overloaded_pair() {
 TEST(ReconfigManagerTest, GuaranteeViolatingDrainIsRejectedAtomically) {
   auto runtime = make_runtime("T_N_N", overloaded_pair(), /*trace=*/true);
   reconfig::ReconfigurationManager manager(*runtime);
-  runtime->inject_arrival(TaskId(0), Time(0));
-  runtime->inject_arrival(TaskId(1), Time(0));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(1), Time(0)));
   runtime->run_until(Time(Duration::milliseconds(50).usec()));
   const auto& ledger = runtime->admission_control()->state().ledger();
   ASSERT_NEAR(ledger.total(ProcessorId(0)), 0.3, 1e-12);
@@ -389,7 +390,8 @@ TEST(ReconfigManagerTest, GuaranteeViolatingDrainIsRejectedAtomically) {
   EXPECT_TRUE(std::ranges::equal(
       runtime->admission_control()->state().reservation(TaskId(0))->placement,
       std::vector<ProcessorId>{ProcessorId(0)}));
-  runtime->inject_arrival(TaskId(0), Time(Duration::milliseconds(100).usec()));
+  RTCM_EXPECT_OK(runtime->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(100).usec())));
   runtime->run_until(Time(Duration::milliseconds(200).usec()));
   EXPECT_EQ(runtime->metrics().total().completions, 3u);
   EXPECT_EQ(runtime->metrics().total().deadline_misses, 0u);
@@ -417,8 +419,8 @@ TEST(ReconfigManagerTest, NewAttributeKeyInReconfigureIsRejected) {
 TEST(ReconfigManagerTest, RejectionRollsBackAttributeSwapsToo) {
   auto runtime = make_runtime("T_N_N", overloaded_pair());
   reconfig::ReconfigurationManager manager(*runtime);
-  runtime->inject_arrival(TaskId(0), Time(0));
-  runtime->inject_arrival(TaskId(1), Time(0));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(1), Time(0)));
   runtime->run_until(Time(Duration::milliseconds(50).usec()));
 
   // One combined mode change: strategy swap + infeasible drain.  The drain
@@ -446,7 +448,7 @@ TEST(ReconfigManagerTest, RejectionRollsBackAttributeSwapsToo) {
 TEST(ReconfigManagerTest, UndrainCancelsPendingQuiesce) {
   auto runtime = make_runtime("T_N_N", replicated_task(), /*trace=*/true);
   reconfig::ReconfigurationManager manager(*runtime);
-  runtime->inject_arrival(TaskId(0), Time(0));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(0), Time(0)));
 
   const auto script = ReconfigScriptBuilder()
                           .drain(Time(Duration::milliseconds(20).usec()), 0)
@@ -497,8 +499,8 @@ TEST(ReconfigManagerTest, DiffApplyEqualsDirectLaunchOfTargetMode) {
     }
     Rng arrival_rng = Rng(42).fork(1);
     const Time horizon(Duration::seconds(5).usec());
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(11));
     const auto& total = runtime.metrics().total();
     return std::tuple{total.arrivals, total.releases, total.rejections,
@@ -693,8 +695,8 @@ TEST(ReconfigEngineTest, EmittedScheduleDrivesTheManagerEndToEnd) {
   }
   Rng arrival_rng(7);
   const Time horizon(Duration::seconds(8).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+  RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(6));
 
   EXPECT_EQ(manager.applied_count(), 2u);
@@ -726,8 +728,8 @@ TEST(ReconfigDeterminismTest, SameScriptSameSeedByteIdenticalTrace) {
                         seed, runtime.app_processors(), horizon))
                     .is_ok());
     Rng arrival_rng = Rng(17).fork(1);
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(11));
     return runtime.trace().render();
   };
@@ -748,8 +750,9 @@ TEST(ReconfigGoldenTraceTest, ScriptedDrainEventSequence) {
           .drain(Time(Duration::milliseconds(50).usec()), 0)
           .build();
   ASSERT_TRUE(manager.schedule_script(script).is_ok());
-  runtime->inject_arrival(TaskId(0), Time(0));
-  runtime->inject_arrival(TaskId(0), Time(Duration::milliseconds(60).usec()));
+  RTCM_EXPECT_OK(runtime->inject_arrival(TaskId(0), Time(0)));
+  RTCM_EXPECT_OK(runtime->inject_arrival(
+      TaskId(0), Time(Duration::milliseconds(60).usec())));
   runtime->run_until(Time(Duration::milliseconds(200).usec()));
 
   std::vector<sim::TraceKind> kinds;

@@ -22,6 +22,7 @@
 
 #include "core/runtime.h"
 #include "sim/simulator.h"
+#include "test_helpers.h"
 #include "util/rng.h"
 #include "util/time.h"
 #include "workload/arrival.h"
@@ -210,8 +211,8 @@ TEST(CrossKernelOracleTest, EndToEndRenderedTraceBytesMatchHeapOracle) {
     EXPECT_TRUE(runtime.assemble().is_ok());
     Rng arrival_rng = rng.fork(1);
     const Time horizon(Duration::seconds(8).usec());
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+    RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(11));
     return runtime.trace().render();
   };

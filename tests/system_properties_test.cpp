@@ -41,8 +41,8 @@ TEST_P(ImbalancedComboTest, RunsCleanly) {
   ASSERT_TRUE(runtime.assemble().is_ok());
   Rng arrival_rng = rng.fork(1);
   const Time horizon(Duration::seconds(20).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(15));
   const auto& total = runtime.metrics().total();
   EXPECT_EQ(total.deadline_misses, 0u);
@@ -75,7 +75,7 @@ TEST(GoldenTraceTest, SingleJobLifecycleSequence) {
   config.enable_trace = true;
   core::SystemRuntime runtime(config, std::move(tasks));
   ASSERT_TRUE(runtime.assemble().is_ok());
-  runtime.inject_arrival(TaskId(0), Time(0));
+RTCM_EXPECT_OK(runtime.inject_arrival(TaskId(0), Time(0)));
   runtime.run_until(Time(Duration::milliseconds(90).usec()));
 
   std::vector<sim::TraceKind> kinds;
@@ -105,7 +105,7 @@ TEST(GoldenTraceTest, RejectedJobSequence) {
   config.enable_trace = true;
   core::SystemRuntime runtime(config, std::move(tasks));
   ASSERT_TRUE(runtime.assemble().is_ok());
-  runtime.inject_arrival(TaskId(0), Time(0));
+RTCM_EXPECT_OK(runtime.inject_arrival(TaskId(0), Time(0)));
   runtime.run_until(Time(Duration::milliseconds(50).usec()));
 
   std::vector<sim::TraceKind> kinds;
@@ -135,8 +135,8 @@ TEST(JitterDeterminismTest, SameJitterSeedSameMetrics) {
     EXPECT_TRUE(runtime.assemble().is_ok());
     Rng arrival_rng = rng.fork(1);
     const Time horizon(Duration::seconds(10).usec());
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(12));
     return std::tuple{runtime.metrics().accepted_utilization_ratio(),
                       runtime.metrics().total().releases,
@@ -172,7 +172,7 @@ TEST(RuntimeKnobsTest, LoopbackLatencyDelaysLocalDeliveries) {
   config.loopback_latency = Duration::milliseconds(1);
   core::SystemRuntime runtime(config, std::move(tasks));
   ASSERT_TRUE(runtime.assemble().is_ok());
-  runtime.inject_arrival(TaskId(0), Time(0));
+RTCM_EXPECT_OK(runtime.inject_arrival(TaskId(0), Time(0)));
   runtime.run_until(Time(Duration::milliseconds(50).usec()));
   // Release trigger traverses the loopback once: response = 1 ms + 10 ms.
   EXPECT_NEAR(runtime.metrics().total().response_ms.mean(), 11.0, 0.1);
@@ -229,9 +229,8 @@ TEST(DsPlanTest, DsAttributesSurviveXmlRoundTripAndLaunch) {
   ASSERT_NE(runtime.admission_control()->ds_admission(), nullptr);
   EXPECT_EQ(runtime.admission_control()->ds_admission()->config().budget,
             Duration::milliseconds(15));
-
-  runtime.inject_arrival(TaskId(0), Time(0));
-  runtime.inject_arrival(TaskId(1), Time(0));
+RTCM_EXPECT_OK(runtime.inject_arrival(TaskId(0), Time(0)));
+RTCM_EXPECT_OK(runtime.inject_arrival(TaskId(1), Time(0)));
   runtime.run_until(Time(Duration::seconds(3).usec()));
   EXPECT_EQ(runtime.metrics().total().deadline_misses, 0u);
   EXPECT_EQ(runtime.metrics().total().completions, 2u);
@@ -253,8 +252,8 @@ TEST(ConservationTest, HeavyBurstsNeverLoseJobs) {
   burst.bursts = 1;
   burst.jobs_per_burst = 50;
   burst.intra_gap = Duration::milliseconds(2);
-  runtime.inject_arrivals(
-      rtcm::testing::make_bursty_arrivals(TaskId(0), burst));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+      rtcm::testing::make_bursty_arrivals(TaskId(0), burst)));
   runtime.run_until(Time(Duration::seconds(2).usec()));
   const auto& total = runtime.metrics().total();
   EXPECT_EQ(total.arrivals, 50u);
@@ -295,8 +294,8 @@ TEST_P(AubSafetyTest, AdmittedJobsAlwaysMeetDeadlines) {
   ASSERT_TRUE(runtime.assemble().is_ok());
   Rng arrival_rng = Rng(p.seed).fork(1);
   const Time horizon(Duration::seconds(15).usec());
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(12));
   const auto& total = runtime.metrics().total();
   EXPECT_EQ(total.deadline_misses, 0u);
@@ -347,8 +346,7 @@ TEST(DsBudgetBoundTest, EmptyServerResponseWithinAnalyticBound) {
   ASSERT_NE(spec, nullptr);
   const Duration bound = ds->delay_bound(*spec, {ProcessorId(0)});
   ASSERT_TRUE(ds->admissible(*spec, {ProcessorId(0)}));
-
-  runtime.inject_arrival(TaskId(0), Time(0));
+RTCM_EXPECT_OK(runtime.inject_arrival(TaskId(0), Time(0)));
   runtime.run_until(Time(Duration::seconds(2).usec()));
   const auto& total = runtime.metrics().total();
   ASSERT_EQ(total.completions, 1u);
@@ -381,8 +379,8 @@ TEST(DsBudgetBoundTest, BurstBacklogStillBoundedByDeadline) {
   burst.jobs_per_burst = 12;
   burst.intra_gap = Duration::milliseconds(1);
   burst.inter_gap = Duration::milliseconds(600);
-  runtime.inject_arrivals(
-      rtcm::testing::make_bursty_arrivals(TaskId(0), burst));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+      rtcm::testing::make_bursty_arrivals(TaskId(0), burst)));
   runtime.run_until(Time(Duration::seconds(6).usec()));
 
   const auto& total = runtime.metrics().total();
@@ -426,8 +424,8 @@ TEST(IdleResetLedgerTest, ResetsNeverIncreaseLedgeredUtilization) {
   }
 
   Rng arrival_rng = Rng(21).fork(1);
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(horizon + Duration::seconds(11));
 
   // Partition trace records into the probe windows.
@@ -531,8 +529,8 @@ TEST_P(ReconfigSafetyTest, NoAdmittedDeadlineMissOrLedgerViolation) {
                   .is_ok());
 
   Rng arrival_rng = Rng(p.seed).fork(1);
-  runtime.inject_arrivals(
-      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+      workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
   runtime.run_until(end);
 
   // (3) ledger bounds, at every probe instant.
@@ -587,8 +585,8 @@ TEST(TraceDeterminismTest, SameSeedsByteIdenticalRenderedTrace) {
     EXPECT_TRUE(runtime.assemble().is_ok());
     Rng arrival_rng = rng.fork(1);
     const Time horizon(Duration::seconds(8).usec());
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(11));
     return runtime.trace().render();
   };
@@ -610,8 +608,8 @@ TEST(TraceDeterminismTest, DifferentJitterSeedChangesTheTrace) {
     EXPECT_TRUE(runtime.assemble().is_ok());
     Rng arrival_rng = Rng(33).fork(1);
     const Time horizon(Duration::seconds(5).usec());
-    runtime.inject_arrivals(
-        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng));
+RTCM_EXPECT_OK(runtime.inject_arrivals(
+        workload::generate_arrivals(runtime.tasks(), horizon, arrival_rng)));
     runtime.run_until(horizon + Duration::seconds(11));
     return runtime.trace().render();
   };

@@ -176,3 +176,14 @@ inline std::vector<config::ModeChange> make_random_reconfig_script(
 }
 
 }  // namespace rtcm::testing
+
+// Assert a Status/Result-returning call succeeded, usable from any helper
+// (EXPECT_*, unlike ASSERT_*, does not require a void return type).  The
+// [[nodiscard]] audit made dropping a Status a warning; tests that inject
+// arrivals expected to succeed say so explicitly with this.
+#define RTCM_EXPECT_OK(expr)                                          \
+  do {                                                                \
+    const auto rtcm_expect_ok_status_ = (expr);                       \
+    EXPECT_TRUE(rtcm_expect_ok_status_.is_ok())                       \
+        << #expr << ": " << rtcm_expect_ok_status_.message();         \
+  } while (false)
